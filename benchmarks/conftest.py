@@ -1,0 +1,26 @@
+"""Benchmark harness plumbing.
+
+Each benchmark runs one experiment's quick configuration exactly once
+(``benchmark.pedantic(rounds=1)`` — the experiments are minutes-scale
+sweeps, not microbenchmarks), asserts the paper's qualitative shape, and
+writes the figure/table text to ``benchmarks/out/`` so the reproduced
+rows can be inspected and diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def save_report(name: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

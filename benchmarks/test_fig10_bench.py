@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 10 — network energy breakdown as routers power-gate."""
+
+from repro.experiments import fig10_energy as exp
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig10_energy_breakdown(benchmark):
+    params = exp.Fig10Params.quick()
+    result = run_once(benchmark, lambda: exp.run(params))
+    save_report("fig10", exp.report(result))
+    for count in params.router_fault_counts:
+        sb = result.normalized_total(count, "static-bubble")
+        evc = result.normalized_total(count, "escape-vc")
+        # Paper: SB below the tree and below escape VC.
+        assert sb <= 1.02, (count, sb)
+        assert sb <= evc + 0.01, (count, sb, evc)
+    # Leakage share grows as the mesh empties (dynamic energy dips).
+    def leak_share(count):
+        e = result.energy[(count, "static-bubble")]
+        return (e["router_leakage"] + e["link_leakage"]) / e["total"]
+
+    assert leak_share(30) > leak_share(2)

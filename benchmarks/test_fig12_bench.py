@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 12 — Rodinia-like application throughput vs faults."""
+
+from repro.experiments import fig12_rodinia as exp
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig12_rodinia_throughput(benchmark):
+    params = exp.Fig12Params.quick()
+    result = run_once(benchmark, lambda: exp.run(params))
+    save_report("fig12", exp.report(result))
+    # Paper's shape at low faults: recovery schemes at or above the tree
+    # for the moderate-rate workloads; hadoop (saturates everything)
+    # shows no scheme separation worth >~2x either way.
+    sb_bplus = result.normalized("bplus", "link", 4, "static-bubble")
+    assert sb_bplus >= 0.95
+    sb_hadoop = result.normalized("hadoop", "link", 4, "static-bubble")
+    assert 0.4 <= sb_hadoop <= 2.5

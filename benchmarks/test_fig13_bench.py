@@ -1,0 +1,22 @@
+"""Benchmark: Fig. 13 — PARSEC-like runtime and network EDP."""
+
+from repro.experiments import fig13_parsec as exp
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig13_parsec_runtime_edp(benchmark):
+    params = exp.Fig13Params.quick()
+    result = run_once(benchmark, lambda: exp.run(params))
+    save_report("fig13", exp.report(result))
+    for workload in params.workloads:
+        rt_sb = result.normalized_runtime(workload, "static-bubble")
+        rt_evc = result.normalized_runtime(workload, "escape-vc")
+        edp_sb = result.normalized_edp(workload, "static-bubble")
+        # Paper: recovery schemes never slower than the tree; SB's EDP the
+        # lowest (identical runtime to eVC, fewer leaking buffers).
+        assert rt_sb <= 1.05, (workload, rt_sb)
+        assert rt_evc <= 1.05, (workload, rt_evc)
+        assert edp_sb <= 1.02, (workload, edp_sb)
+    # The memory-bound workload shows a clear (> 3%) runtime win.
+    assert result.normalized_runtime("canneal", "static-bubble") < 0.97

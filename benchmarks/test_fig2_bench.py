@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 2 — % deadlock-prone topologies vs fault count."""
+
+from repro.experiments import fig2_deadlock_prone as exp
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig2_deadlock_prone(benchmark):
+    params = exp.Fig2Params.quick()
+    result = run_once(benchmark, lambda: exp.run(params))
+    save_report("fig2", exp.report(result))
+    # Paper: ~100% prone at low fault counts, collapsing once fragmented.
+    assert result.link_series[1] >= 90
+    assert result.link_series[96] <= 20
+    assert result.router_series[1] >= 90
+    assert result.router_series[60] <= 20
+    # monotone-ish decline at the tail
+    assert result.link_series[96] <= result.link_series[48]

@@ -1,0 +1,22 @@
+"""Benchmark: Fig. 3 — injection rates at which topologies deadlock."""
+
+from repro.experiments import fig3_heatmap as exp
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig3_heatmap(benchmark):
+    params = exp.Fig3Params.quick()
+    result = run_once(benchmark, lambda: exp.run(params))
+    save_report("fig3", exp.report(result))
+    rates = sorted(params.rates)
+    for count in params.link_fault_counts:
+        series = [result.heatmap[(count, r)] for r in rates]
+        # cumulative distribution must be non-decreasing in rate
+        assert series == sorted(series)
+    # Paper's insight: deadlocks are rare at real-app rates (<= 0.05) but
+    # common by 0.3-0.5 flits/node/cycle.
+    low = max(result.heatmap[(c, rates[0])] for c in params.link_fault_counts)
+    high = min(result.heatmap[(c, rates[-1])] for c in params.link_fault_counts)
+    assert low <= 40
+    assert high >= 60

@@ -1,0 +1,32 @@
+"""Benchmark: Fig. 8 — low-load latency normalized to Spanning Tree."""
+
+from repro.experiments import fig8_latency as exp
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig8_low_load_latency(benchmark):
+    params = exp.Fig8Params.quick()
+    result = run_once(benchmark, lambda: exp.run(params))
+    save_report("fig8", exp.report(result))
+    # Paper's shape: minimal-route schemes at or below the tree's latency
+    # at low loads, and SB == eVC (no deadlocks at this load).
+    for pattern in params.patterns:
+        for kind, counts in (
+            ("link", params.link_fault_counts),
+            ("router", params.router_fault_counts),
+        ):
+            for count in counts:
+                sb = result.normalized(pattern, kind, count, "static-bubble")
+                evc = result.normalized(pattern, kind, count, "escape-vc")
+                assert sb <= 1.05, (pattern, kind, count, sb)
+                assert abs(sb - evc) < 0.08
+    # Somewhere in the sweep the advantage must be visible (> 3%).
+    best = min(
+        result.normalized(p, k, c, "static-bubble")
+        for p in params.patterns
+        for k, counts in (("link", params.link_fault_counts),
+                          ("router", params.router_fault_counts))
+        for c in counts
+    )
+    assert best < 0.97

@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 9 — saturation throughput normalized to Spanning Tree."""
+
+from repro.experiments import fig9_throughput as exp
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_fig9_saturation_throughput(benchmark):
+    params = exp.Fig9Params.quick()
+    result = run_once(benchmark, lambda: exp.run(params))
+    save_report("fig9", exp.report(result))
+    # Paper's shape: Static Bubble's saturation throughput is the highest
+    # of the three at low-to-moderate fault counts (path diversity beats
+    # the tree; no permanently reserved VC beats escape-VC).
+    for kind, counts in (
+        ("link", params.link_fault_counts),
+        ("router", params.router_fault_counts),
+    ):
+        low = counts[0]
+        sb = result.normalized(kind, low, "static-bubble")
+        evc = result.normalized(kind, low, "escape-vc")
+        assert sb >= 1.0, (kind, low, sb)
+        assert sb >= evc * 0.95, (kind, low, sb, evc)

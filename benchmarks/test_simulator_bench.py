@@ -1,0 +1,62 @@
+"""Microbenchmarks of the simulator substrate itself.
+
+Not a paper figure — these track the cost of the building blocks so that
+regressions in the inner loops (switch allocation, table construction,
+deadlock detection) are visible.  Unlike the figure benchmarks these use
+multiple rounds.
+"""
+
+import random
+
+from repro.protocols import make_scheme
+from repro.routing.table import build_minimal_tables, build_updown_tables
+from repro.sim.config import SimConfig
+from repro.sim.deadlock import find_wait_cycle
+from repro.sim.network import Network
+from repro.topology.faults import inject_link_faults
+from repro.topology.mesh import mesh
+from repro.traffic.synthetic import UniformRandomTraffic
+
+
+def _make_network(rate: float, scheme_name: str = "static-bubble"):
+    topo = inject_link_faults(mesh(8, 8), 8, random.Random(1))
+    config = SimConfig()
+    traffic = UniformRandomTraffic(topo, rate=rate, seed=1)
+    net = Network(topo, config, make_scheme(scheme_name), traffic, seed=1)
+    net.run(200)  # warm: populate VCs
+    return net
+
+
+def test_step_low_load(benchmark):
+    net = _make_network(rate=0.02)
+    benchmark.pedantic(lambda: net.run(100), rounds=5, iterations=1)
+    assert net.stats.packets_ejected > 0
+
+
+def test_step_saturated(benchmark):
+    net = _make_network(rate=0.30)
+    benchmark.pedantic(lambda: net.run(100), rounds=5, iterations=1)
+    assert net.stats.packets_injected > 0
+
+
+def test_build_minimal_tables_8x8(benchmark):
+    topo = inject_link_faults(mesh(8, 8), 8, random.Random(1))
+    tables = benchmark.pedantic(
+        lambda: build_minimal_tables(topo), rounds=3, iterations=1
+    )
+    assert len(tables) == 64
+
+
+def test_build_updown_tables_8x8(benchmark):
+    topo = inject_link_faults(mesh(8, 8), 8, random.Random(1))
+    tables = benchmark.pedantic(
+        lambda: build_updown_tables(topo), rounds=3, iterations=1
+    )
+    assert len(tables) == 64
+
+
+def test_deadlock_oracle_scan(benchmark):
+    net = _make_network(rate=0.30)
+    benchmark.pedantic(
+        lambda: find_wait_cycle(net, net.cycle), rounds=5, iterations=1
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: Table I — Static Bubble vs escape VC cost accounting."""
+
+import pytest
+
+from repro.experiments import table1_cost as exp
+
+from benchmarks.conftest import run_once, save_report
+
+
+def test_table1_costs(benchmark):
+    params = exp.Table1Params.quick()
+    result = run_once(benchmark, lambda: exp.run(params))
+    save_report("table1", exp.report(result))
+    # Paper's exact numbers.
+    assert result.buffers[(8, 8)] == (21, 320)
+    assert result.buffers[(16, 16)] == (89, 1280)
+    sb_ov, evc_ov = result.area_overhead[(8, 8)]
+    assert sb_ov < 0.005  # "~0%" network-wide
+    assert evc_ov == pytest.approx(0.18, abs=0.02)  # "18%"

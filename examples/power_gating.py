@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Runtime power-gating scenario (the NoC power-gating use case).
+
+Routers are progressively power-gated while the application keeps
+running.  After every reconfiguration the network is rebuilt with the
+surviving topology (the paper's source-routing reconfiguration model)
+and the same closed-loop workload continues.  Compares the spanning-tree
+baseline against Static Bubble on both performance and energy.
+
+Run:  python examples/power_gating.py
+"""
+
+import random
+
+from repro import Network, SimConfig, make_scheme, mesh
+from repro.energy.model import EnergyModel
+from repro.sim.engine import run_to_drain
+from repro.topology.faults import default_memory_controllers
+from repro.topology.graph import largest_component
+from repro.traffic.workloads import parsec_closed_loop
+from repro.utils.reporting import format_table
+
+
+def gated_topology(base, num_gated, rng, mcs):
+    """Gate random routers, never the memory controllers."""
+    topo = base.copy()
+    candidates = [n for n in topo.active_nodes() if n not in mcs]
+    for node in rng.sample(candidates, num_gated):
+        topo.deactivate_node(node)
+    return topo
+
+
+def main() -> None:
+    base = mesh(8, 8)
+    mcs = default_memory_controllers(8, 8)
+    model = EnergyModel()
+    rng = random.Random(7)
+    config = SimConfig()
+
+    rows = []
+    for num_gated in (0, 4, 8, 16):
+        topo = gated_topology(base, num_gated, random.Random(7), mcs)
+        if not all(mc in largest_component(topo) for mc in mcs):
+            print(f"skipping {num_gated} gated (an MC got disconnected)")
+            continue
+        for scheme_name in ("spanning-tree", "static-bubble"):
+            workload = parsec_closed_loop(
+                "canneal", topo, mcs, seed=1, transactions_per_core=6
+            )
+            net = Network(topo, config, make_scheme(scheme_name), workload, seed=1)
+            runtime = run_to_drain(net, 80000) or 80000
+            energy = model.network_energy(net)
+            rows.append(
+                [
+                    num_gated,
+                    scheme_name,
+                    runtime,
+                    net.stats.avg_latency,
+                    energy.total,
+                    energy.total * runtime,
+                ]
+            )
+
+    print(
+        format_table(
+            [
+                "gated routers",
+                "scheme",
+                "app runtime (cyc)",
+                "avg latency",
+                "energy (au)",
+                "EDP (au*cyc)",
+            ],
+            rows,
+            ndigits=1,
+            title="Power-gating sweep: canneal-like closed-loop workload",
+        )
+    )
+    print(
+        "\nGated routers stop leaking (energy drops with gating); Static\n"
+        "Bubble keeps minimal routes over whatever survives, so runtime\n"
+        "and EDP stay below the spanning-tree reconfiguration baseline."
+    )
+
+
+if __name__ == "__main__":
+    main()

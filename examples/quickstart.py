@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate an irregular NoC under all three schemes.
+
+Builds an 8x8 mesh, knocks out 8 random links (faults or power-gating —
+the library treats them identically), runs uniform-random traffic at a
+moderate load under the spanning-tree baseline, the escape-VC baseline,
+and Static Bubble, and prints latency/throughput plus the Static Bubble
+protocol counters.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    Network,
+    SimConfig,
+    UniformRandomTraffic,
+    inject_link_faults,
+    make_scheme,
+    mesh,
+    run_with_window,
+)
+from repro.utils.reporting import format_table
+
+
+def main() -> None:
+    topo = inject_link_faults(mesh(8, 8), 8, random.Random(2024))
+    print(f"Topology: {topo}")
+    config = SimConfig()
+
+    rows = []
+    for name in ("spanning-tree", "escape-vc", "static-bubble"):
+        traffic = UniformRandomTraffic(topo, rate=0.10, seed=7)
+        network = Network(topo, config, make_scheme(name), traffic, seed=7)
+        result = run_with_window(network, warmup=500, measure=2000)
+        stats = network.stats
+        rows.append(
+            [
+                name,
+                result.avg_latency,
+                result.throughput_flits_node_cycle,
+                stats.probes_sent,
+                stats.bubble_activations,
+                stats.recoveries_completed,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "scheme",
+                "avg latency (cyc)",
+                "thr (flits/node/cyc)",
+                "probes",
+                "bubble act.",
+                "recoveries",
+            ],
+            rows,
+            title="Uniform random @ 0.10 flits/node/cycle, 8 link faults",
+        )
+    )
+    print()
+    print(
+        "Static Bubble keeps every packet on a minimal route; the spanning\n"
+        "tree detours traffic to stay deadlock-free and pays for it in\n"
+        "latency.  Raise the rate above ~0.2 to watch deadlocks form and\n"
+        "the probe/disable/enable machinery recover them."
+    )
+
+
+if __name__ == "__main__":
+    main()

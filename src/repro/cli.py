@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``placement WIDTH HEIGHT`` — print the static-bubble placement map and
+  the Equation-1 count for a mesh.
+* ``simulate`` — run one simulation (topology, faults, scheme, traffic)
+  and print the measured statistics.
+* ``experiment NAME`` — run one of the paper's experiments (``fig2`` ...
+  ``fig13``, ``table1``) in quick or full mode and print its report.
+* ``schemes`` — list the available deadlock-freedom schemes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.core.placement import bubble_count, placement_map
+from repro.experiments import ALL_EXPERIMENTS
+from repro.protocols import SCHEMES, make_scheme
+from repro.sim.config import SimConfig
+from repro.sim.deadlock import DeadlockMonitor
+from repro.sim.engine import run_with_window
+from repro.sim.network import Network
+from repro.topology.faults import inject_link_faults, inject_router_faults
+from repro.topology.mesh import mesh
+from repro.traffic.synthetic import make_pattern
+from repro.utils.reporting import format_table
+
+
+def _cmd_placement(args: argparse.Namespace) -> int:
+    print(placement_map(args.width, args.height))
+    print(
+        f"\n{bubble_count(args.width, args.height)} static bubbles in a "
+        f"{args.width}x{args.height} mesh "
+        f"({args.width * args.height} routers)."
+    )
+    return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    rows = [
+        ["minimal-unprotected", "random-minimal routes, no protection (Fig. 2/3)"],
+        ["xy", "dimension-ordered XY (healthy meshes only)"],
+        ["spanning-tree", "up*/down* avoidance over a spanning tree (baseline 1)"],
+        ["escape-vc", "minimal + reserved escape VCs on a tree (baseline 2)"],
+        ["static-bubble", "the paper's contribution: minimal + bubble recovery"],
+    ]
+    print(format_table(["scheme", "description"], rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    topo = mesh(args.width, args.height)
+    rng = random.Random(args.seed)
+    if args.link_faults:
+        topo = inject_link_faults(topo, args.link_faults, rng)
+    if args.router_faults:
+        topo = inject_router_faults(topo, args.router_faults, rng)
+    config = SimConfig(
+        width=args.width,
+        height=args.height,
+        vcs_per_vnet=args.vcs,
+        sb_t_dd=args.t_dd,
+    )
+    traffic = make_pattern(args.pattern, topo, args.rate, seed=args.seed)
+    network = Network(topo, config, make_scheme(args.scheme), traffic, seed=args.seed)
+    result = run_with_window(
+        network,
+        warmup=args.warmup,
+        measure=args.cycles,
+        monitor=DeadlockMonitor() if args.monitor else None,
+    )
+    stats = network.stats
+    rows = [
+        ["topology", repr(topo)],
+        ["scheme", args.scheme],
+        ["offered load (flits/node/cyc)", args.rate],
+        ["avg latency (cycles)", f"{result.avg_latency:.2f}"],
+        ["accepted thr (flits/node/cyc)", f"{result.throughput_flits_node_cycle:.4f}"],
+        ["packets injected / ejected", f"{stats.packets_injected} / {stats.packets_ejected}"],
+        ["probes sent", stats.probes_sent],
+        ["bubble activations", stats.bubble_activations],
+        ["recoveries completed", stats.recoveries_completed],
+        ["escape diversions", stats.escape_diversions],
+        ["deadlocks observed (oracle)", stats.deadlocks_observed],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = ALL_EXPERIMENTS.get(args.name)
+    if module is None:
+        print(
+            f"unknown experiment {args.name!r}; have {sorted(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    params_cls = next(
+        getattr(module, name) for name in dir(module) if name.endswith("Params")
+    )
+    params = params_cls.full() if args.full else params_cls.quick()
+    result = module.run(params)
+    print(module.report(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Static Bubble (HPCA 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("placement", help="print a static-bubble placement map")
+    p.add_argument("width", type=int)
+    p.add_argument("height", type=int)
+    p.set_defaults(func=_cmd_placement)
+
+    p = sub.add_parser("schemes", help="list deadlock-freedom schemes")
+    p.set_defaults(func=_cmd_schemes)
+
+    p = sub.add_parser("simulate", help="run one simulation")
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--height", type=int, default=8)
+    p.add_argument("--link-faults", type=int, default=0)
+    p.add_argument("--router-faults", type=int, default=0)
+    p.add_argument("--scheme", choices=sorted(SCHEMES), default="static-bubble")
+    p.add_argument("--pattern", default="uniform_random")
+    p.add_argument("--rate", type=float, default=0.05)
+    p.add_argument("--warmup", type=int, default=500)
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--vcs", type=int, default=4, help="VCs per vnet per port")
+    p.add_argument("--t-dd", type=int, default=34, help="SB detection threshold")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--monitor", action="store_true", help="run the deadlock oracle alongside"
+    )
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("name", help="fig2|fig3|fig8|fig9|fig10|fig11|fig12|fig13|table1")
+    p.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale parameters (hours) instead of quick mode",
+    )
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

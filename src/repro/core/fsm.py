@@ -1,0 +1,255 @@
+"""The 6-state counter FSM embedded in every static-bubble router (Fig. 5).
+
+The FSM watches one non-empty VC at a time (round-robin) and drives
+deadlock detection and recovery:
+
+* ``S_OFF``: counter off; no VC at a non-local port is occupied.
+* ``S_DD`` (deadlock detection): counting up to the configurable
+  threshold ``t_dd``; timeout sends a *probe* from the output port the
+  watched packet is blocked on.
+* ``S_DISABLE``: the probe came back — a dependency cycle exists.  The
+  recorded turn path is latched in the Turn Buffer, the threshold becomes
+  ``t_dr`` (derived from the path length) and a *disable* is sent to seal
+  the cycle.  Timeout (disable dropped en route) falls through to
+  ``S_ENABLE`` to undo any partial sealing.
+* ``S_SB_ACTIVE``: the disable returned; the static bubble is switched on
+  and the counter stops.  The deadlocked ring drains forward one hop.
+* ``S_CHECK_PROBE``: the bubble was re-claimed (emptied); a *check_probe*
+  retraces the path to see whether the chain still exists.  If it returns,
+  back to ``S_SB_ACTIVE``; on timeout, the chain is gone -> ``S_ENABLE``.
+* ``S_ENABLE``: an *enable* retraces the path clearing the injection
+  restrictions; when it returns (or after retrying on timeout) the FSM
+  resumes watching VCs in ``S_DD`` (or ``S_OFF`` if the router is empty).
+
+The FSM is deliberately decoupled from the router: it holds only state,
+counter and the latched path, and exposes event methods that return the
+action the router must perform.  The Static Bubble protocol
+(:mod:`repro.protocols.static_bubble`) wires these actions to the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional, Tuple
+
+from repro.core.turns import Port, Turn
+
+
+class FsmState(Enum):
+    S_OFF = auto()
+    S_DD = auto()
+    S_DISABLE = auto()
+    S_SB_ACTIVE = auto()
+    S_CHECK_PROBE = auto()
+    S_ENABLE = auto()
+
+
+class FsmAction(Enum):
+    """Action the router must take in response to an FSM event."""
+
+    NONE = auto()
+    SEND_PROBE = auto()
+    SEND_DISABLE = auto()
+    SEND_CHECK_PROBE = auto()
+    SEND_ENABLE = auto()
+    ACTIVATE_BUBBLE = auto()
+    RECOVERY_DONE = auto()
+    ABORT_RECOVERY = auto()
+
+
+def recovery_threshold(path_length: int) -> int:
+    """``t_dr`` for a latched path of ``path_length`` turns.
+
+    The loop has ``path_length + 1`` routers; each special-message hop
+    costs 1 cycle of processing + 1 cycle of link traversal, so a full
+    loop takes ``2 * (path_length + 1)`` cycles.  We add two cycles of
+    slack so a message arriving exactly at the deadline is not raced by
+    the timeout (the paper states "2x path length"; the constant offset
+    does not change behaviour, only the precise retry cadence).
+    """
+    return 2 * (path_length + 1) + 2
+
+
+@dataclass
+class CounterFsm:
+    """State + counter + turn buffer of one static-bubble router."""
+
+    node: int
+    t_dd: int
+    state: FsmState = FsmState.S_OFF
+    count: int = 0
+    threshold: int = 0
+    #: Latched probe path (Turn Buffer) and the ports of the local hop.
+    turn_buffer: Tuple[Turn, ...] = ()
+    probe_out_port: Optional[Port] = None
+    probe_in_port: Optional[Port] = None
+    #: Bound on enable retransmissions before the recovery is abandoned
+    #: (robustness backstop; enables are normally forwarded unconditionally
+    #: so losses are rare collisions).
+    max_enable_retries: int = 16
+    enable_retries: int = 0
+    #: Statistics visible to the experiments.
+    probes_sent: int = 0
+    recoveries_completed: int = 0
+    recoveries_aborted: int = 0
+
+    # -- counter -----------------------------------------------------------
+
+    def _restart(self, threshold: Optional[int] = None) -> None:
+        self.count = 0
+        if threshold is not None:
+            self.threshold = threshold
+
+    def counting(self) -> bool:
+        return self.state in (
+            FsmState.S_DD,
+            FsmState.S_DISABLE,
+            FsmState.S_CHECK_PROBE,
+            FsmState.S_ENABLE,
+        )
+
+    def tick(self) -> FsmAction:
+        """Advance the counter one cycle; return the timeout action if any."""
+        if not self.counting():
+            return FsmAction.NONE
+        self.count += 1
+        if self.count < self.threshold:
+            return FsmAction.NONE
+        return self._on_timeout()
+
+    def _on_timeout(self) -> FsmAction:
+        if self.state == FsmState.S_DD:
+            self._restart()
+            self.probes_sent += 1
+            return FsmAction.SEND_PROBE
+        if self.state == FsmState.S_DISABLE:
+            # Disable was dropped midway; undo partial injection restrictions.
+            self.state = FsmState.S_ENABLE
+            self.enable_retries = 0
+            self._restart()
+            return FsmAction.SEND_ENABLE
+        if self.state == FsmState.S_CHECK_PROBE:
+            # Chain no longer exists; clear restrictions along the path.
+            self.state = FsmState.S_ENABLE
+            self.enable_retries = 0
+            self._restart()
+            return FsmAction.SEND_ENABLE
+        if self.state == FsmState.S_ENABLE:
+            # Enable lost to a collision somewhere; retransmit (bounded).
+            self.enable_retries += 1
+            if self.enable_retries > self.max_enable_retries:
+                return FsmAction.ABORT_RECOVERY
+            self._restart()
+            return FsmAction.SEND_ENABLE
+        return FsmAction.NONE
+
+    # -- VC watching -------------------------------------------------------
+
+    def on_first_flit(self) -> None:
+        """A flit arrived while the router was idle: S_OFF -> S_DD."""
+        if self.state == FsmState.S_OFF:
+            self.state = FsmState.S_DD
+            self._restart(self.t_dd)
+
+    def on_watched_vc_progress(self, any_vc_active: bool) -> None:
+        """The watched VC drained (or emptied); move on or switch off.
+
+        Only meaningful in ``S_DD``; during recovery the FSM ignores
+        ordinary traffic movement.
+        """
+        if self.state != FsmState.S_DD:
+            return
+        if any_vc_active:
+            self._restart(self.t_dd)
+        else:
+            self.state = FsmState.S_OFF
+            self.count = 0
+
+    # -- protocol events ---------------------------------------------------
+
+    def on_probe_returned(
+        self, turns: Tuple[Turn, ...], in_port: Port, out_port: Port
+    ) -> FsmAction:
+        """Own probe came back: latch path, go seal the cycle."""
+        if self.state != FsmState.S_DD:
+            # Late copy of a probe (e.g. a second cycle through this node
+            # while a recovery is already in flight): drop, Section IV-B.
+            return FsmAction.NONE
+        self.turn_buffer = tuple(turns)
+        self.probe_in_port = in_port
+        self.probe_out_port = out_port
+        self.state = FsmState.S_DISABLE
+        self._restart(recovery_threshold(len(turns)))
+        return FsmAction.SEND_DISABLE
+
+    def on_disable_returned(self) -> FsmAction:
+        if self.state != FsmState.S_DISABLE:
+            return FsmAction.NONE
+        self.state = FsmState.S_SB_ACTIVE
+        self.count = 0
+        return FsmAction.ACTIVATE_BUBBLE
+
+    def on_bubble_reclaimed(self) -> FsmAction:
+        if self.state != FsmState.S_SB_ACTIVE:
+            return FsmAction.NONE
+        self.state = FsmState.S_CHECK_PROBE
+        self._restart(recovery_threshold(len(self.turn_buffer)))
+        return FsmAction.SEND_CHECK_PROBE
+
+    def on_check_probe_returned(self) -> FsmAction:
+        if self.state != FsmState.S_CHECK_PROBE:
+            return FsmAction.NONE
+        self.state = FsmState.S_SB_ACTIVE
+        self.count = 0
+        return FsmAction.ACTIVATE_BUBBLE
+
+    def on_enable_returned(self, any_vc_active: bool) -> FsmAction:
+        if self.state != FsmState.S_ENABLE:
+            return FsmAction.NONE
+        self._finish_recovery(any_vc_active)
+        self.recoveries_completed += 1
+        return FsmAction.RECOVERY_DONE
+
+    def abort_recovery(self, any_vc_active: bool) -> None:
+        """Give up on a recovery whose enable keeps getting lost."""
+        self._finish_recovery(any_vc_active)
+        self.recoveries_aborted += 1
+
+    def _finish_recovery(self, any_vc_active: bool) -> None:
+        self.turn_buffer = ()
+        self.probe_in_port = None
+        self.probe_out_port = None
+        self.enable_retries = 0
+        if any_vc_active:
+            self.state = FsmState.S_DD
+            self._restart(self.t_dd)
+        else:
+            self.state = FsmState.S_OFF
+            self.count = 0
+
+    def on_foreign_disable(self) -> None:
+        """Received a disable from a higher-id static bubble (Section IV-B).
+
+        This router is now an ordinary member of someone else's sealed
+        chain: the counter goes to ``S_OFF`` until the matching enable
+        arrives.
+        """
+        if self.state == FsmState.S_DD:
+            self.state = FsmState.S_OFF
+            self.count = 0
+
+    def on_foreign_enable(self, any_vc_active: bool) -> None:
+        """The matching foreign enable arrived; resume watching VCs."""
+        if self.state == FsmState.S_OFF and any_vc_active:
+            self.state = FsmState.S_DD
+            self._restart(self.t_dd)
+
+    def in_recovery(self) -> bool:
+        """True while this FSM owns an in-flight recovery operation."""
+        return self.state in (
+            FsmState.S_DISABLE,
+            FsmState.S_SB_ACTIVE,
+            FsmState.S_CHECK_PROBE,
+            FsmState.S_ENABLE,
+        )

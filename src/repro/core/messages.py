@@ -1,0 +1,103 @@
+"""Special control messages used by the Static Bubble recovery protocol.
+
+Four single-flit, *bufferless* message types (Section IV): ``probe``,
+``disable``, ``check_probe`` and ``enable``.  They travel over the same
+links as regular flits with strict priority
+
+    check_probe  >  disable / enable  >  probe  >  flit
+
+and are never buffered: a router either forwards a special message in the
+cycle after it arrives or drops it.  Same-cycle collisions on an output
+port are resolved in favour of the higher sender node-id.
+
+A probe accumulates the L/R/S turn taken at every router it traverses;
+the recorded turn path is later replayed verbatim by the disable,
+check_probe and enable messages.  Capacity is bounded by the flit width
+(59 turns for 128-bit flits, Section IV-B); a probe that exhausts its
+capacity is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import IntEnum
+from typing import Tuple
+
+from repro.core.turns import PROBE_TURN_CAPACITY, Port, Turn
+
+
+class MsgType(IntEnum):
+    """Special message types, ordered by forwarding priority (low to high)."""
+
+    PROBE = 0
+    DISABLE = 1
+    ENABLE = 2
+    CHECK_PROBE = 3
+
+
+#: Output-port arbitration priority (Section IV-C): check_probe first, then
+#: disable/enable (equal priority, resolved by the Enable/Disable unit),
+#: then probe.  Flits always lose to special messages.
+FORWARD_PRIORITY = {
+    MsgType.CHECK_PROBE: 3,
+    MsgType.DISABLE: 2,
+    MsgType.ENABLE: 2,
+    MsgType.PROBE: 1,
+}
+
+
+@dataclass(frozen=True)
+class SpecialMessage:
+    """A special control message in flight.
+
+    Attributes:
+        mtype: message type (probe/disable/enable/check_probe).
+        sender: node-id of the originating static-bubble router.
+        turns: the turn path.  For a probe this is the path recorded *so
+            far*; for the other three it is the remaining path to replay
+            (the first entry is always the turn to take at the receiving
+            router; each router strips it before forwarding, Section IV-A2).
+        travel: current direction of travel (determines the input port at
+            the receiving router: ``opposite(travel)``).
+        origin_out: for probes, the output port the probe originally left
+            its sender through (3 bits in the header).  Carried so that a
+            returning probe unambiguously identifies which dependence its
+            disable must retrace, even if the sender has launched newer
+            probes in other directions meanwhile.
+    """
+
+    mtype: MsgType
+    sender: int
+    turns: Tuple[Turn, ...]
+    travel: Port
+    origin_out: Port = Port.LOCAL
+
+    @property
+    def priority(self) -> int:
+        return FORWARD_PRIORITY[self.mtype]
+
+    def with_turn_appended(self, turn: Turn, new_travel: Port) -> "SpecialMessage":
+        """Probe forwarding: append the turn taken at this router."""
+        return replace(self, turns=self.turns + (turn,), travel=new_travel)
+
+    def with_head_stripped(self, new_travel: Port) -> "SpecialMessage":
+        """Disable/enable/check_probe forwarding: strip the consumed turn."""
+        return replace(self, turns=self.turns[1:], travel=new_travel)
+
+    def at_capacity(self) -> bool:
+        """True if a probe has exhausted its turn-recording capacity."""
+        return len(self.turns) >= PROBE_TURN_CAPACITY
+
+
+def make_probe(sender: int, travel: Port) -> SpecialMessage:
+    """A fresh probe leaving ``sender`` in direction ``travel``."""
+    return SpecialMessage(MsgType.PROBE, sender, (), travel, origin_out=travel)
+
+
+def make_path_message(
+    mtype: MsgType, sender: int, turns: Tuple[Turn, ...], travel: Port
+) -> SpecialMessage:
+    """A disable/enable/check_probe replaying a previously latched path."""
+    if mtype == MsgType.PROBE:
+        raise ValueError("probes do not replay a path")
+    return SpecialMessage(mtype, sender, tuple(turns), travel)

@@ -1,0 +1,104 @@
+"""Directions, ports and the 2-bit turn encoding used by special messages.
+
+Conventions (used consistently across the library):
+
+* Coordinates: ``x`` grows East, ``y`` grows North; node id ``y*width + x``.
+* A message travelling in direction ``d`` enters the next router through
+  the input port ``opposite(d)`` (e.g. travelling East it arrives at the
+  router's West port) and leaves through the output port named after its
+  new direction of travel.
+* A *turn* is relative to the direction of travel: ``LEFT`` rotates the
+  travel direction 90° counter-clockwise (East -> North), ``RIGHT``
+  rotates it clockwise, ``STRAIGHT`` keeps it.  This matches the paper's
+  L/R/S encoding carried by probes (2 bits per turn, Section IV-B).
+* U-turns (180°) are forbidden, as assumed by the placement lemma.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Port(IntEnum):
+    """Router ports.  The four compass ports double as travel directions."""
+
+    EAST = 0
+    NORTH = 1
+    WEST = 2
+    SOUTH = 3
+    LOCAL = 4
+
+
+#: The four compass directions (excludes LOCAL).
+DIRECTIONS = (Port.EAST, Port.NORTH, Port.WEST, Port.SOUTH)
+
+#: Unit coordinate delta for travel in each direction.
+DELTA = {
+    Port.EAST: (1, 0),
+    Port.NORTH: (0, 1),
+    Port.WEST: (-1, 0),
+    Port.SOUTH: (0, -1),
+}
+
+
+class Turn(IntEnum):
+    """2-bit turn encoding relative to the direction of travel."""
+
+    STRAIGHT = 0
+    LEFT = 1
+    RIGHT = 2
+
+
+def opposite(direction: Port) -> Port:
+    """Return the opposite compass direction (East <-> West, ...)."""
+    if direction == Port.LOCAL:
+        raise ValueError("LOCAL port has no opposite")
+    return Port((direction + 2) % 4)
+
+
+def rotate_left(direction: Port) -> Port:
+    """Rotate a travel direction 90 degrees counter-clockwise."""
+    return Port((direction + 1) % 4)
+
+
+def rotate_right(direction: Port) -> Port:
+    """Rotate a travel direction 90 degrees clockwise."""
+    return Port((direction + 3) % 4)
+
+
+def apply_turn(travel: Port, turn: Turn) -> Port:
+    """New travel direction after taking ``turn`` while travelling ``travel``."""
+    if turn == Turn.STRAIGHT:
+        return travel
+    if turn == Turn.LEFT:
+        return rotate_left(travel)
+    return rotate_right(travel)
+
+
+def turn_between(in_port: Port, out_port: Port) -> Turn:
+    """Classify the in-port -> out-port hop of a message as L/R/S.
+
+    ``in_port`` is the router port the message arrived on; the direction of
+    travel is therefore ``opposite(in_port)``.  Raises ``ValueError`` for
+    u-turns and for local ports, which have no turn classification.
+    """
+    if in_port == Port.LOCAL or out_port == Port.LOCAL:
+        raise ValueError("turns are only defined between compass ports")
+    travel = opposite(in_port)
+    if out_port == travel:
+        return Turn.STRAIGHT
+    if out_port == rotate_left(travel):
+        return Turn.LEFT
+    if out_port == rotate_right(travel):
+        return Turn.RIGHT
+    raise ValueError(f"u-turn from {in_port.name} to {out_port.name}")
+
+
+def route_directions(route: tuple) -> list:
+    """Expand a port route into per-hop travel directions (sanity helper)."""
+    return [Port(p) for p in route]
+
+
+#: Maximum number of turns a probe can record (Section IV-B: 128-bit flit,
+#: 3 bits message type + 6 bits sender node-id, 2 bits per turn -> 59).
+PROBE_TURN_CAPACITY = 59

@@ -1,0 +1,6 @@
+"""DSENT-substitute analytical energy, area, and EDP models."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.energy.edp import network_edp
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "EnergyParams", "network_edp"]

@@ -1,0 +1,23 @@
+"""Energy-delay product helpers (Fig. 13b)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.energy.model import EnergyModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+
+def network_edp(network: "Network", runtime_cycles: int, model: EnergyModel = None) -> float:
+    """Network EDP: total network energy x application runtime.
+
+    The paper's Fig. 13b metric: with identical work, a scheme wins EDP by
+    using less energy (shorter routes, fewer buffers) and/or finishing
+    sooner.
+    """
+    if model is None:
+        model = EnergyModel()
+    energy = model.network_energy(network).total
+    return energy * runtime_cycles

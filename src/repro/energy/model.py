@@ -1,0 +1,154 @@
+"""Analytical router + link energy model (DSENT substitute, 32 nm / 2 GHz).
+
+The paper estimates network energy and area with DSENT.  DSENT itself is
+a circuit-level tool; for the *relative* comparisons the paper reports
+(Fig. 10, Fig. 13b, Table I) what matters is the activity- and
+buffer-count accounting, which we model analytically:
+
+* dynamic energy  = per-flit event energies x event counts collected by
+  the simulator (buffer writes/reads, crossbar traversals, link flits);
+* leakage energy  = per-cycle leakage of every powered buffer, router and
+  link (power-gated/faulty components leak nothing);
+* area            = buffers + crossbar + allocators per router.
+
+Constants are calibrated (see ``tests/test_energy.py``) so that buffers
+and crossbar dominate router area and the escape-VC baseline's one extra
+VC per message class per port costs ~18% router area while Static
+Bubble's 21 extra buffers in a 64-router mesh cost <0.5% network-wide —
+the Table I numbers.  Units are arbitrary-but-consistent (pJ-like).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, TYPE_CHECKING
+
+from repro.sim.config import SimConfig
+from repro.sim.stats import NetworkStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event dynamic energies and per-cycle leakage powers."""
+
+    e_buffer_write: float = 1.0  # per flit
+    e_buffer_read: float = 0.8  # per flit
+    e_crossbar: float = 1.2  # per flit
+    e_arbitration: float = 0.1  # per flit
+    e_link: float = 1.5  # per flit per link
+    e_special: float = 1.5  # per special-message link traversal
+    p_buffer_leak: float = 0.004  # per buffer per cycle
+    p_router_leak: float = 0.05  # per powered router per cycle (non-buffer)
+    p_link_leak: float = 0.010  # per powered link per cycle
+
+    # Area (arbitrary units; buffers dominate, as in DSENT at 32 nm).
+    a_buffer: float = 1.0  # per packet-deep VC buffer
+    a_crossbar: float = 18.0
+    a_allocators: float = 3.0
+    a_other: float = 2.3
+
+
+@dataclass
+class EnergyBreakdown:
+    """Fig. 10's four stacks plus the total."""
+
+    router_dynamic: float = 0.0
+    router_leakage: float = 0.0
+    link_dynamic: float = 0.0
+    link_leakage: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.router_dynamic
+            + self.router_leakage
+            + self.link_dynamic
+            + self.link_leakage
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "router_dynamic": self.router_dynamic,
+            "router_leakage": self.router_leakage,
+            "link_dynamic": self.link_dynamic,
+            "link_leakage": self.link_leakage,
+            "total": self.total,
+        }
+
+
+class EnergyModel:
+    """Computes energy/area for one simulated network."""
+
+    def __init__(self, params: EnergyParams = EnergyParams()) -> None:
+        self.params = params
+
+    # -- energy ---------------------------------------------------------
+
+    def network_energy(self, network: "Network") -> EnergyBreakdown:
+        """Energy over the cycles simulated so far."""
+        params = self.params
+        stats: NetworkStats = network.stats
+        config: SimConfig = network.config
+        scheme = network.scheme
+
+        breakdown = EnergyBreakdown()
+        breakdown.router_dynamic = (
+            params.e_buffer_write * stats.buffer_writes
+            + params.e_buffer_read * stats.buffer_reads
+            + params.e_crossbar * stats.crossbar_flits
+            + params.e_arbitration * stats.crossbar_flits
+        )
+        specials = sum(stats.link_special_cycles.values())
+        breakdown.link_dynamic = (
+            params.e_link * stats.link_flit_cycles + params.e_special * specials
+        )
+
+        cycles = stats.cycles
+        base_buffers = 5 * config.vcs_per_port()
+        total_buffers = 0
+        for node in network.routers:
+            total_buffers += base_buffers + scheme.extra_vcs_per_router(node, config)
+        n_routers = len(network.routers)
+        n_links = len(network.topo.active_links())
+        breakdown.router_leakage = cycles * (
+            params.p_buffer_leak * total_buffers + params.p_router_leak * n_routers
+        )
+        breakdown.link_leakage = cycles * params.p_link_leak * n_links
+        return breakdown
+
+    # -- area -------------------------------------------------------------
+
+    def router_area(self, config: SimConfig, extra_vcs: int = 0) -> float:
+        params = self.params
+        buffers = 5 * config.vcs_per_port() + extra_vcs
+        return (
+            params.a_buffer * buffers
+            + params.a_crossbar
+            + params.a_allocators
+            + params.a_other
+        )
+
+    def network_area(self, config: SimConfig, scheme, num_routers: int) -> float:
+        """Total router area for ``num_routers`` under ``scheme``.
+
+        Scheme extras are queried per node id 0..num_routers-1 on the
+        config's mesh (design-time area is a property of the full mesh,
+        not of a particular fault pattern).
+        """
+        total = 0.0
+        for node in range(num_routers):
+            total += self.router_area(config, scheme.extra_vcs_per_router(node, config))
+        return total
+
+    def area_overhead(self, config: SimConfig, scheme, num_routers: int) -> float:
+        """Fractional network router-area overhead of ``scheme`` vs. plain."""
+
+        class _Plain:
+            def extra_vcs_per_router(self, node: int, cfg: SimConfig) -> int:
+                return 0
+
+        base = self.network_area(config, _Plain(), num_routers)
+        return self.network_area(config, scheme, num_routers) / base - 1.0

@@ -1,0 +1,43 @@
+"""Experiment harnesses — one module per figure/table in the evaluation.
+
+Each module exposes ``Params.quick()`` / ``Params.full()``, ``run`` and
+``report``; the benchmark harness under ``benchmarks/`` drives the quick
+configurations and prints the same rows the paper's figures show.
+"""
+
+from repro.experiments import (
+    fig2_deadlock_prone,
+    fig3_heatmap,
+    fig8_latency,
+    fig9_throughput,
+    fig10_energy,
+    fig11_tdd_sweep,
+    fig12_rodinia,
+    fig13_parsec,
+    table1_cost,
+)
+
+ALL_EXPERIMENTS = {
+    "fig2": fig2_deadlock_prone,
+    "fig3": fig3_heatmap,
+    "fig8": fig8_latency,
+    "fig9": fig9_throughput,
+    "fig10": fig10_energy,
+    "fig11": fig11_tdd_sweep,
+    "fig12": fig12_rodinia,
+    "fig13": fig13_parsec,
+    "table1": table1_cost,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "fig2_deadlock_prone",
+    "fig3_heatmap",
+    "fig8_latency",
+    "fig9_throughput",
+    "fig10_energy",
+    "fig11_tdd_sweep",
+    "fig12_rodinia",
+    "fig13_parsec",
+    "table1_cost",
+]

@@ -1,0 +1,117 @@
+"""Shared experiment plumbing: topology sampling, sim runs, normalization.
+
+Every experiment module follows the same shape:
+
+* a ``*Params`` dataclass with a ``quick()`` constructor (minutes on a
+  laptop; used by the benchmark harness) and a ``full()`` constructor
+  (closer to the paper's scale; hours in pure Python);
+* a ``run(params) -> *Result`` function returning structured data;
+* a ``report(result) -> str`` function printing the same rows/series the
+  paper's figure or table shows.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.protocols import make_scheme
+from repro.sim.config import SimConfig
+from repro.sim.deadlock import DeadlockMonitor
+from repro.sim.engine import WindowResult, run_with_window
+from repro.sim.network import Network
+from repro.topology.faults import sample_topologies
+from repro.topology.mesh import Topology
+from repro.traffic.synthetic import make_pattern
+
+#: Scheme names in the order the paper's figures list them.
+SCHEME_ORDER = ("spanning-tree", "escape-vc", "static-bubble")
+
+
+def topologies_for(
+    width: int,
+    height: int,
+    fault_kind: str,
+    fault_count: int,
+    samples: int,
+    seed: int,
+    require_mcs: Optional[List[int]] = None,
+) -> List[Topology]:
+    """Materialized topology sample (shared across schemes for fairness)."""
+    return list(
+        sample_topologies(
+            width,
+            height,
+            fault_kind,
+            fault_count,
+            samples,
+            seed,
+            require_memory_controllers=require_mcs,
+        )
+    )
+
+
+def run_synthetic(
+    topo: Topology,
+    scheme_name: str,
+    pattern: str,
+    rate: float,
+    config: SimConfig,
+    warmup: int,
+    measure: int,
+    seed: int,
+    monitor: bool = False,
+) -> Tuple[WindowResult, Network]:
+    """One warmup+measure simulation of a synthetic pattern."""
+    traffic = make_pattern(
+        pattern,
+        topo,
+        rate,
+        seed=seed,
+        vnets=config.vnets,
+        data_flits=config.data_packet_flits,
+        ctrl_flits=config.ctrl_packet_flits,
+    )
+    network = Network(topo, config, make_scheme(scheme_name), traffic, seed=seed)
+    result = run_with_window(
+        network,
+        warmup,
+        measure,
+        monitor=DeadlockMonitor() if monitor else None,
+    )
+    return result, network
+
+
+def saturation_throughput(
+    topo: Topology,
+    scheme_name: str,
+    config: SimConfig,
+    rates: Sequence[float],
+    warmup: int,
+    measure: int,
+    seed: int,
+) -> float:
+    """Peak accepted throughput (flits/node/cycle) over an offered sweep.
+
+    The standard saturation metric: accepted throughput rises with offered
+    load until the network saturates; the plateau/peak is the saturation
+    throughput.  Sweeping past the knee and taking the max is robust to
+    post-saturation degradation.
+    """
+    best = 0.0
+    for rate in rates:
+        result, _ = run_synthetic(
+            topo, scheme_name, "uniform_random", rate, config, warmup, measure, seed
+        )
+        best = max(best, result.throughput_flits_node_cycle)
+    return best
+
+
+def safe_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return mean(values) if values else 0.0
+
+
+def normalize_to(base: float, value: float) -> float:
+    """value / base with a 0-guard (returns 1.0 when the base is zero)."""
+    return value / base if base else 1.0

@@ -1,0 +1,103 @@
+"""Fig. 10: average network energy as routers are power-gated.
+
+Energy breakdown (router/link x dynamic/leakage) for the three schemes
+at 2, 7, 15 and 30 faulty/power-gated routers, normalized to the
+spanning-tree total at each fault count.  Expected shape (paper): Static
+Bubble ~10% below spanning tree (shorter routes -> less dynamic energy)
+and ~20% below escape VC (no extra buffers leaking at every router);
+leakage grows as a fraction at high fault counts as dynamic energy dips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.energy.model import EnergyModel
+from repro.experiments.common import SCHEME_ORDER, run_synthetic, topologies_for
+from repro.sim.config import SimConfig
+from repro.utils.reporting import Reporter
+
+
+@dataclass
+class Fig10Params:
+    width: int = 8
+    height: int = 8
+    router_fault_counts: List[int] = field(default_factory=lambda: [2, 7, 15, 30])
+    rate: float = 0.05
+    samples: int = 2
+    seed: int = 42
+    warmup: int = 300
+    measure: int = 1000
+
+    @classmethod
+    def quick(cls) -> "Fig10Params":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "Fig10Params":
+        return cls(samples=15, warmup=1000, measure=4000)
+
+
+@dataclass
+class Fig10Result:
+    params: Fig10Params
+    #: (fault count, scheme) -> mean energy breakdown components.
+    energy: Dict[Tuple[int, str], Dict[str, float]]
+
+    def normalized_total(self, count: int, scheme: str) -> float:
+        base = self.energy[(count, "spanning-tree")]["total"]
+        return self.energy[(count, scheme)]["total"] / base if base else 1.0
+
+
+def run(params: Fig10Params) -> Fig10Result:
+    config = SimConfig(width=params.width, height=params.height)
+    model = EnergyModel()
+    energy: Dict[Tuple[int, str], Dict[str, float]] = {}
+    for count in params.router_fault_counts:
+        topos = topologies_for(
+            params.width, params.height, "router", count, params.samples, params.seed
+        )
+        for scheme in SCHEME_ORDER:
+            acc: Dict[str, float] = {}
+            for i, topo in enumerate(topos):
+                _, network = run_synthetic(
+                    topo,
+                    scheme,
+                    "uniform_random",
+                    params.rate,
+                    config,
+                    params.warmup,
+                    params.measure,
+                    seed=params.seed + i,
+                )
+                breakdown = model.network_energy(network).as_dict()
+                for key, value in breakdown.items():
+                    acc[key] = acc.get(key, 0.0) + value / len(topos)
+            energy[(count, scheme)] = acc
+    return Fig10Result(params, energy)
+
+
+def report(result: Fig10Result) -> str:
+    rep = Reporter("Fig. 10 — network energy breakdown (normalized to Sp-Tree total)")
+    for count in result.params.router_fault_counts:
+        base = result.energy[(count, "spanning-tree")]["total"]
+        rows = []
+        for scheme in SCHEME_ORDER:
+            e = result.energy[(count, scheme)]
+            rows.append(
+                [
+                    scheme,
+                    e["router_dynamic"] / base if base else 0.0,
+                    e["router_leakage"] / base if base else 0.0,
+                    e["link_dynamic"] / base if base else 0.0,
+                    e["link_leakage"] / base if base else 0.0,
+                    e["total"] / base if base else 0.0,
+                ]
+            )
+        rep.table(
+            ["scheme", "rtr dyn", "rtr leak", "link dyn", "link leak", "total"],
+            rows,
+            title=f"{count} faulty/power-gated routers",
+        )
+    return rep.text()

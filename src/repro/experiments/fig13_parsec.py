@@ -1,0 +1,133 @@
+"""Fig. 13: PARSEC-like full-run performance and network EDP at 4 faults.
+
+Each low-injection PARSEC-like trace (fixed communication work) is run to
+drain under all three schemes on the same 4-link-fault topologies.
+Reported per workload: application runtime and network EDP (energy x
+runtime), both normalized to the spanning tree.  Expected shape (paper):
+escape VC and Static Bubble identical (no deadlocks at PARSEC loads) with
+~15% lower runtime than the tree; Static Bubble ~53% lower EDP than the
+tree and ~17% lower than escape VC (fewer buffers leaking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.energy.edp import network_edp
+from repro.energy.model import EnergyModel
+from repro.experiments.common import SCHEME_ORDER, safe_mean, topologies_for
+from repro.protocols import make_scheme
+from repro.sim.config import SimConfig
+from repro.sim.engine import run_to_drain
+from repro.sim.network import Network
+from repro.topology.faults import default_memory_controllers
+from repro.traffic.workloads import parsec_closed_loop
+from repro.utils.reporting import Reporter
+
+
+@dataclass
+class Fig13Params:
+    width: int = 8
+    height: int = 8
+    workloads: List[str] = field(
+        default_factory=lambda: ["blackscholes", "bodytrack", "canneal", "fluidanimate"]
+    )
+    link_faults: int = 4
+    samples: int = 2
+    seed: int = 42
+    transactions_per_core: int = 8
+    max_cycles: int = 60000
+
+    @classmethod
+    def quick(cls) -> "Fig13Params":
+        return cls(workloads=["blackscholes", "canneal"])
+
+    @classmethod
+    def full(cls) -> "Fig13Params":
+        return cls(samples=10, transactions_per_core=40, max_cycles=400000)
+
+
+@dataclass
+class Fig13Result:
+    params: Fig13Params
+    #: (workload, scheme) -> mean runtime cycles / mean EDP.
+    runtime: Dict[Tuple[str, str], float]
+    edp: Dict[Tuple[str, str], float]
+
+    def normalized_runtime(self, workload: str, scheme: str) -> float:
+        base = self.runtime[(workload, "spanning-tree")]
+        return self.runtime[(workload, scheme)] / base if base else 1.0
+
+    def normalized_edp(self, workload: str, scheme: str) -> float:
+        base = self.edp[(workload, "spanning-tree")]
+        return self.edp[(workload, scheme)] / base if base else 1.0
+
+
+def run(params: Fig13Params) -> Fig13Result:
+    config = SimConfig(width=params.width, height=params.height)
+    mcs = default_memory_controllers(params.width, params.height)
+    model = EnergyModel()
+    topos = topologies_for(
+        params.width,
+        params.height,
+        "link",
+        params.link_faults,
+        params.samples,
+        params.seed,
+        require_mcs=mcs,
+    )
+    runtime: Dict[Tuple[str, str], List[float]] = {}
+    edp: Dict[Tuple[str, str], List[float]] = {}
+    out_rt: Dict[Tuple[str, str], float] = {}
+    out_edp: Dict[Tuple[str, str], float] = {}
+    for workload in params.workloads:
+        for scheme in SCHEME_ORDER:
+            rts, edps = [], []
+            for i, topo in enumerate(topos):
+                traffic = parsec_closed_loop(
+                    workload,
+                    topo,
+                    mcs,
+                    seed=params.seed + i,
+                    transactions_per_core=params.transactions_per_core,
+                )
+                network = Network(
+                    topo, config, make_scheme(scheme), traffic, seed=params.seed + i
+                )
+                cycles = run_to_drain(network, params.max_cycles)
+                if cycles is None:
+                    cycles = params.max_cycles
+                rts.append(float(cycles))
+                edps.append(network_edp(network, cycles, model))
+            out_rt[(workload, scheme)] = safe_mean(rts)
+            out_edp[(workload, scheme)] = safe_mean(edps)
+    return Fig13Result(params, out_rt, out_edp)
+
+
+def report(result: Fig13Result) -> str:
+    rep = Reporter("Fig. 13 — PARSEC-like runtime and network EDP (4 link faults)")
+    rows = []
+    for workload in result.params.workloads:
+        rows.append(
+            [
+                workload,
+                result.runtime[(workload, "spanning-tree")],
+                result.normalized_runtime(workload, "escape-vc"),
+                result.normalized_runtime(workload, "static-bubble"),
+                result.normalized_edp(workload, "escape-vc"),
+                result.normalized_edp(workload, "static-bubble"),
+            ]
+        )
+    rep.table(
+        [
+            "workload",
+            "sp-tree runtime",
+            "runtime eVC",
+            "runtime SB",
+            "EDP eVC",
+            "EDP SB",
+        ],
+        rows,
+    )
+    return rep.text()

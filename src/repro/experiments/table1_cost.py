@@ -1,0 +1,101 @@
+"""Table I: Static Bubble vs. escape VC — cost accounting.
+
+Analytic comparison: extra buffers in an n x m mesh (Equation 1 for
+Static Bubble — 21 in a 64-core mesh, 89 in a 256-core mesh; n*m*5 per
+message class for escape VCs — 320 / 1280 with one class), router area
+overhead (DSENT-substitute model: ~0% for SB, ~18% for escape VC), and
+the qualitative rows (operating mode, pre/post-deadlock routing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.placement import bubble_count
+from repro.energy.model import EnergyModel
+from repro.protocols import StaticBubbleScheme
+from repro.sim.config import SimConfig
+from repro.utils.reporting import Reporter
+
+
+class _EscapeAreaScheme:
+    """Area accounting for escape VCs: +1 VC per vnet per port everywhere.
+
+    Table I counts the escape VCs as *additional* buffers a deployment
+    must provision (even though, for throughput, they come out of the
+    working VC budget).
+    """
+
+    def __init__(self, vnets: int) -> None:
+        self.vnets = vnets
+
+    def extra_vcs_per_router(self, node: int, config: SimConfig) -> int:
+        return 5 * self.vnets
+
+
+@dataclass
+class Table1Params:
+    mesh_sizes: List[Tuple[int, int]] = field(
+        default_factory=lambda: [(8, 8), (16, 16)]
+    )
+    #: The paper's Table II router: 3 message classes x 4 VCs per port.
+    vnets: int = 3
+    vcs_per_vnet: int = 4
+
+    @classmethod
+    def quick(cls) -> "Table1Params":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "Table1Params":
+        return cls(mesh_sizes=[(4, 4), (8, 8), (16, 16), (32, 32)])
+
+
+@dataclass
+class Table1Result:
+    params: Table1Params
+    #: (width, height) -> (SB buffers, escape buffers)
+    buffers: Dict[Tuple[int, int], Tuple[int, int]]
+    #: (width, height) -> (SB area overhead, escape area overhead), fractional.
+    area_overhead: Dict[Tuple[int, int], Tuple[float, float]]
+
+
+def run(params: Table1Params) -> Table1Result:
+    model = EnergyModel()
+    buffers: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    overhead: Dict[Tuple[int, int], Tuple[float, float]] = {}
+    for width, height in params.mesh_sizes:
+        config = SimConfig(
+            width=width,
+            height=height,
+            vnets=params.vnets,
+            vcs_per_vnet=params.vcs_per_vnet,
+        )
+        sb_buffers = bubble_count(width, height)
+        # Table I counts escape buffers per message class: n*m*5.
+        evc_buffers = width * height * 5
+        buffers[(width, height)] = (sb_buffers, evc_buffers)
+        num_routers = width * height
+        sb_overhead = model.area_overhead(config, StaticBubbleScheme(), num_routers)
+        evc_overhead = model.area_overhead(
+            config, _EscapeAreaScheme(params.vnets), num_routers
+        )
+        overhead[(width, height)] = (sb_overhead, evc_overhead)
+    return Table1Result(params, buffers, overhead)
+
+
+def report(result: Table1Result) -> str:
+    rep = Reporter("Table I — Static Bubble vs Escape VC cost")
+    rep.line("operating mode:   SB = deadlock recovery | eVC = avoidance or recovery")
+    rep.line("pre-deadlock:     SB = minimal            | eVC = minimal")
+    rep.line("post-deadlock:    SB = minimal            | eVC = non-minimal (tree)")
+    rep.line("control:          SB = counter FSM        | eVC = tree routing table")
+    rows = []
+    for (w, h), (sb, evc) in sorted(result.buffers.items()):
+        sb_ov, evc_ov = result.area_overhead[(w, h)]
+        rows.append([f"{w}x{h}", sb, evc, f"{100*sb_ov:.2f}%", f"{100*evc_ov:.1f}%"])
+    rep.table(
+        ["mesh", "SB buffers", "eVC buffers", "SB area ovh", "eVC area ovh"], rows
+    )
+    return rep.text()

@@ -1,0 +1,37 @@
+"""Deadlock-freedom schemes: baselines and the Static Bubble contribution."""
+
+from repro.protocols.base import DeadlockScheme
+from repro.protocols.none import MinimalUnprotected
+from repro.protocols.spanning_tree import SpanningTreeAvoidance
+from repro.protocols.escape_vc import EscapeVcRecovery
+from repro.protocols.static_bubble import StaticBubbleScheme
+from repro.protocols.xy import XyRouting
+
+SCHEMES = {
+    "minimal-unprotected": MinimalUnprotected,
+    "xy": XyRouting,
+    "spanning-tree": SpanningTreeAvoidance,
+    "escape-vc": EscapeVcRecovery,
+    "static-bubble": StaticBubbleScheme,
+}
+
+
+def make_scheme(name: str, **kwargs) -> DeadlockScheme:
+    """Factory over the named schemes."""
+    try:
+        cls = SCHEMES[name]
+    except KeyError:
+        raise ValueError(f"unknown scheme {name!r}; have {sorted(SCHEMES)}")
+    return cls(**kwargs)
+
+
+__all__ = [
+    "DeadlockScheme",
+    "MinimalUnprotected",
+    "XyRouting",
+    "SpanningTreeAvoidance",
+    "EscapeVcRecovery",
+    "StaticBubbleScheme",
+    "SCHEMES",
+    "make_scheme",
+]

@@ -1,0 +1,71 @@
+"""Deadlock-freedom scheme interface.
+
+A scheme bundles (a) how NIs route packets over the current topology and
+(b) any router augmentation / per-cycle protocol machinery.  The network
+is scheme-agnostic; all scheme behaviour goes through these hooks.
+
+Implementations:
+
+* :class:`repro.protocols.none.MinimalUnprotected` — minimal routes, no
+  protection (the Fig. 2/3 state-space studies).
+* :class:`repro.protocols.spanning_tree.SpanningTreeAvoidance` — the
+  paper's first baseline (up*/down* routes, deadlock avoidance).
+* :class:`repro.protocols.escape_vc.EscapeVcRecovery` — the second
+  baseline (minimal routes + escape VCs on a spanning tree).
+* :class:`repro.protocols.static_bubble.StaticBubbleScheme` — the paper's
+  contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple, TYPE_CHECKING
+
+from repro.core.messages import SpecialMessage
+from repro.routing.table import RoutingTable, build_minimal_tables
+from repro.sim.config import SimConfig
+from repro.topology.mesh import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+    from repro.sim.router import Router
+
+
+class DeadlockScheme:
+    """Base scheme: minimal routing, no router augmentation."""
+
+    name = "base"
+
+    def build_tables(
+        self, topo: Topology, config: SimConfig
+    ) -> Dict[int, RoutingTable]:
+        """Routing tables installed at the NIs (default: minimal routes)."""
+        return build_minimal_tables(topo, config.max_minimal_routes)
+
+    def setup(self, network: "Network") -> None:
+        """Augment routers (escape VCs, bubbles, FSMs) after construction."""
+
+    def on_cycle(self, network: "Network", now: int) -> None:
+        """Per-cycle protocol work, run after switch allocation."""
+
+    def process_specials(
+        self,
+        network: "Network",
+        router: "Router",
+        messages: Sequence[Tuple[int, SpecialMessage]],
+        now: int,
+    ) -> None:
+        """Handle special messages arriving at ``router`` this cycle.
+
+        ``messages`` holds ``(input_port, message)`` pairs.  Only the
+        Static Bubble scheme uses special messages.
+        """
+
+    def on_bubble_drained(self, network: "Network", router: "Router", now: int) -> None:
+        """A packet left the static bubble VC (SB scheme only)."""
+
+    def extra_vcs_per_router(self, node: int, config: SimConfig) -> int:
+        """Buffers this scheme adds at ``node`` beyond the baseline router.
+
+        Used by the energy/area model (Table I accounting).
+        """
+        return 0

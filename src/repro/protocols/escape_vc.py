@@ -1,0 +1,97 @@
+"""Deadlock recovery with escape VCs (baseline 2).
+
+Models the Router Parking / NoRD style (Section V-B): packets normally
+follow minimal, deadlock-prone routes in the regular VCs; every input
+port additionally carries one reserved *escape* VC per vnet.  A packet
+whose head-of-VC wait exceeds a detection threshold is diverted into the
+escape layer, which routes hop-by-hop over a spanning tree (per-router
+escape tables) — deadlock-free but non-minimal.  Once in the escape
+layer a packet stays there until ejection.
+
+Costs modelled, as in Table I: one extra VC per vnet per input port at
+*every* router (vs. Static Bubble's one buffer at a few routers), and
+throughput loss from the permanently reserved VC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+from repro.core.turns import Port
+from repro.protocols.base import DeadlockScheme
+from repro.routing.spanning_tree import build_spanning_trees, tree_next_hop_tables
+from repro.routing.table import RoutingTable, build_minimal_tables
+from repro.sim.config import SimConfig
+from repro.topology.mesh import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+
+class EscapeVcRecovery(DeadlockScheme):
+    """Minimal routes + per-router spanning-tree escape VCs."""
+
+    name = "escape-vc"
+
+    def __init__(self, reserve_existing: bool = True) -> None:
+        #: ``reserve_existing``: the paper's model — one of the router's
+        #: VCs per vnet per port is permanently reserved as the escape VC
+        #: (this is where the throughput loss vs. Static Bubble comes
+        #: from).  Set False to *add* escape VCs on top instead.
+        self.reserve_existing = reserve_existing
+        self.escape_tables: Dict[int, Dict[int, Port]] = {}
+        self._t_detect = 34
+
+    def build_tables(
+        self, topo: Topology, config: SimConfig
+    ) -> Dict[int, RoutingTable]:
+        self._t_detect = config.escape_t_detect
+        # Escape layer: pure tree routing per component.
+        self.escape_tables = {}
+        for tree in build_spanning_trees(topo):
+            self.escape_tables.update(tree_next_hop_tables(topo, tree))
+        return build_minimal_tables(topo, config.max_minimal_routes)
+
+    def setup(self, network: "Network") -> None:
+        if self.reserve_existing and network.config.vcs_per_vnet < 2:
+            raise ValueError(
+                "escape-VC reservation needs >= 2 VCs per vnet per port"
+            )
+        for router in network.active_routers():
+            router.add_escape_vcs(reserve_existing=self.reserve_existing)
+            router._escape_lookup = self._lookup
+
+    def _lookup(self, node: int, dst: int) -> Port:
+        table = self.escape_tables.get(node)
+        if table is None or dst not in table:
+            # Destination unreachable from the escape layer (different
+            # component after a topology change): eject-and-drop is the
+            # only sane hardware behaviour; route tables prevent this in
+            # practice because minimal routes exist iff the tree covers.
+            return Port.LOCAL
+        return table[dst]
+
+    def on_cycle(self, network: "Network", now: int) -> None:
+        """Divert packets stalled beyond the detection threshold.
+
+        The per-VC timer models Router Parking's deadlock-detection
+        timeout.  Diversion is a mode flip on the packet: from the next
+        allocation on it requests the escape output port and an escape VC.
+        """
+        threshold = self._t_detect
+        for router in network.active_routers():
+            if router.occupancy == 0:
+                continue
+            for vc in router.all_vcs():
+                packet = vc.packet
+                if (
+                    packet is not None
+                    and not packet.is_escape
+                    and now - vc.ready_at >= threshold
+                ):
+                    packet.is_escape = True
+                    network.stats.escape_diversions += 1
+
+    def extra_vcs_per_router(self, node: int, config: SimConfig) -> int:
+        # One escape VC per vnet per input port (incl. local), Table I.
+        return 5 * config.vnets

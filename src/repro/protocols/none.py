@@ -1,0 +1,16 @@
+"""Minimal routing with no deadlock protection.
+
+Used by the paper's motivation studies (Fig. 2 and Fig. 3): inject with
+unrestricted random-minimal routing and observe whether (and at which
+injection rate) the topology deadlocks.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import DeadlockScheme
+
+
+class MinimalUnprotected(DeadlockScheme):
+    """Random-minimal source routing; deadlocks are allowed to happen."""
+
+    name = "minimal-unprotected"

@@ -1,0 +1,32 @@
+"""Deadlock avoidance with spanning-tree up*/down* routing (baseline 1).
+
+Models the Ariadne / uDIREC / Panthre family (Section V-B): on every
+topology, a spanning tree is built over each surviving component and all
+packets carry a single up*/down*-valid route.  Up*/down* forbids the
+down->up turn, which provably breaks every cyclic channel dependency, so
+no recovery machinery is needed — at the price of non-minimal routes and
+reduced path diversity.
+
+Reconfiguration (tree construction) is modelled as free, exactly as the
+paper grants this baseline ("we assume zero cycles to reconfigure").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.protocols.base import DeadlockScheme
+from repro.routing.table import RoutingTable, build_updown_tables
+from repro.sim.config import SimConfig
+from repro.topology.mesh import Topology
+
+
+class SpanningTreeAvoidance(DeadlockScheme):
+    """Up*/down* source routing over a per-component spanning tree."""
+
+    name = "spanning-tree"
+
+    def build_tables(
+        self, topo: Topology, config: SimConfig
+    ) -> Dict[int, RoutingTable]:
+        return build_updown_tables(topo)

@@ -1,0 +1,585 @@
+"""The Static Bubble deadlock-recovery scheme (Sections III and IV).
+
+All packets use minimal routes in all VCs, all the time.  A subset of
+routers (chosen by :mod:`repro.core.placement`) carries one extra
+packet-sized buffer — the *static bubble* — plus the counter FSM of
+Fig. 5.  On suspicion of a deadlock (a watched packet stuck beyond
+``t_DD``) the FSM runs the four-message recovery protocol:
+
+probe        traces the suspected dependency cycle, forking at every
+             router whose probed input port is fully occupied and
+             recording the L/S/R turn taken; returning to its sender
+             confirms a cycle.
+disable      replays the recorded path, installing at each router the
+             IO-priority injection restriction (``is_deadlock`` bit) that
+             seals the cycle against new traffic; returning to the sender
+             switches the static bubble ON.
+check_probe  after the bubble drains one packet and is re-claimed,
+             retraces the path to test whether the chain still exists;
+             if it returns, the bubble switches on again.
+enable       replays the path clearing the restrictions once the chain
+             is gone (or when a disable/check_probe was dropped midway).
+
+All four are bufferless and single-flit; per cycle a router forwards at
+most one special message per output port (priority: check_probe >
+disable/enable > probe; ties to the higher sender id; an enable/disable
+tie is broken by the local ``is_deadlock`` bit, Section IV-C).
+
+Robustness extension (documented in DESIGN.md): if the activated bubble
+is never claimed because the sealed chain dissolved through an
+independent drain (a false positive caused by congestion), the FSM
+treats the dissolution — detected as "no VC at the chain input port
+wants the chain output port any more" — like a re-claim, so the
+check_probe/enable path still runs and the restrictions are removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.core.fsm import CounterFsm, FsmAction, FsmState
+from repro.core.messages import (
+    MsgType,
+    SpecialMessage,
+    make_path_message,
+    make_probe,
+)
+from repro.core.placement import placement_node_ids
+from repro.core.turns import Port, apply_turn, turn_between
+from repro.protocols.base import DeadlockScheme
+from repro.sim.config import SimConfig
+from repro.sim.router import VC_NORMAL
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+    from repro.sim.router import Router
+
+
+@dataclass
+class _SbRouterState:
+    """Per static-bubble-router protocol state beyond the FSM."""
+
+    fsm: CounterFsm
+    #: Flat round-robin list of compass-port VCs and the watch pointer.
+    watch_index: int = 0
+    watched_pid: Optional[int] = None
+    #: Cycle the bubble was (last) activated; drives the unclaimed-bubble
+    #: timeout.
+    bubble_active_since: int = 0
+
+
+class StaticBubbleScheme(DeadlockScheme):
+    """Minimal routing + static bubbles + recovery FSM."""
+
+    name = "static-bubble"
+
+    def __init__(
+        self,
+        t_dd: Optional[int] = None,
+        fork_probes: bool = True,
+        use_check_probe: bool = True,
+        placement_override: Optional[set] = None,
+    ) -> None:
+        #: Optional override of the config's deadlock-detection threshold.
+        self._t_dd_override = t_dd
+        #: Ablations (DESIGN.md §7): without forking, a probe is forwarded
+        #: only when every VC at the probed port wants the same output;
+        #: without the check_probe optimization, each bubble re-claim goes
+        #: straight to the enable/teardown and deadlock must be re-detected
+        #: from scratch (paper footnote 7).
+        self.fork_probes = fork_probes
+        self.use_check_probe = use_check_probe
+        #: Optional explicit set of static-bubble node ids (ablations:
+        #: bubble-at-every-router, random sparse placements, ...).
+        self.placement_override = placement_override
+        self.states: Dict[int, _SbRouterState] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def setup(self, network: "Network") -> None:
+        config = network.config
+        t_dd = self._t_dd_override or config.sb_t_dd
+        if self.placement_override is not None:
+            sb_nodes = set(self.placement_override)
+        else:
+            sb_nodes = placement_node_ids(config.width, config.height)
+        for node, router in network.routers.items():
+            if node in sb_nodes:
+                router.add_static_bubble()
+                # Per-router detection thresholds are configurable in the
+                # paper's design; staggering them by node id desynchronizes
+                # probe retries so that concurrent probes do not collide in
+                # the same deterministic pattern every period (collisions
+                # drop the lower-id probe, Section IV-B).
+                stagger = (node * 7) % 13
+                fsm = CounterFsm(
+                    node,
+                    t_dd + stagger,
+                    max_enable_retries=config.sb_enable_retries,
+                )
+                self.states[node] = _SbRouterState(fsm)
+
+    def is_sb_router(self, node: int) -> bool:
+        return node in self.states
+
+    def extra_vcs_per_router(self, node: int, config: SimConfig) -> int:
+        if self.placement_override is not None:
+            return 1 if node in self.placement_override else 0
+        return 1 if node in placement_node_ids(config.width, config.height) else 0
+
+    # -- per-cycle FSM driving ---------------------------------------------
+
+    def on_cycle(self, network: "Network", now: int) -> None:
+        for node, state in self.states.items():
+            router = network.routers[node]
+            self._relocate_bubble_resident(network, router, now)
+            self._update_watch(router, state, now)
+            self._sb_active_watchdog(network, router, state, now)
+            action = state.fsm.tick()
+            if action != FsmAction.NONE:
+                self._dispatch(network, router, state, action, now)
+        self._collect_stale_seals(network, now)
+
+    def _collect_stale_seals(self, network: "Network", now: int) -> None:
+        """Expire IO restrictions whose chain dissolved and enable was lost.
+
+        Robustness extension (DESIGN.md §4): a sealed router whose
+        dependence is long gone and that never saw the matching enable
+        (dropped to a collision, or its sender aborted) clears itself
+        after ``sb_seal_timeout`` idle cycles; otherwise the locked output
+        port would throttle unrelated traffic forever.
+        """
+        timeout = network.config.sb_seal_timeout
+        for router in network.active_routers():
+            if not router.is_deadlock:
+                continue
+            state = self.states.get(router.node)
+            if state is not None and state.fsm.in_recovery():
+                continue  # the owner FSM manages its own seal
+            if now - router.io_set_at < timeout:
+                continue
+            if router.vc_wants_output(router.io_in_port, router.io_out_port, now):
+                router.io_set_at = now  # chain still flowing; keep the seal
+                continue
+            router.clear_io_restriction()
+
+    def _relocate_bubble_resident(
+        self, network: "Network", router: "Router", now: int
+    ) -> None:
+        """Footnote 6: move a stuck bubble resident into a freed normal VC.
+
+        If the packet occupying the static bubble is waiting on some other
+        output while a regular VC at the same input port frees up, the
+        packet shifts into that VC so the bubble can be re-claimed and the
+        recovery hand-shake can continue.
+        """
+        bubble = router.bubble
+        if bubble is None or bubble.packet is None or now < bubble.ready_at:
+            return
+        resident = bubble.packet
+        for vc in router.input_vcs[bubble.port]:
+            if vc.kind == VC_NORMAL and vc.vnet == resident.vnet and vc.is_free(now):
+                vc.packet = resident
+                vc.ready_at = now + 1
+                bubble.packet = None
+                bubble.free_at = now + 1
+                self.on_bubble_drained(network, router, now)
+                return
+
+    def _compass_vcs(self, router: "Router") -> List:
+        vcs = []
+        for port in range(4):
+            vcs.extend(router.input_vcs[port])
+        return vcs
+
+    def _update_watch(self, router: "Router", state: _SbRouterState, now: int) -> None:
+        fsm = state.fsm
+        if fsm.state == FsmState.S_OFF:
+            vcs = self._compass_vcs(router)
+            idx = self._next_occupied(vcs, state.watch_index)
+            if idx is not None:
+                state.watch_index = idx
+                state.watched_pid = vcs[idx].packet.pid
+                fsm.on_first_flit()
+            return
+        if fsm.state != FsmState.S_DD:
+            return
+        vcs = self._compass_vcs(router)
+        current = vcs[state.watch_index] if state.watch_index < len(vcs) else None
+        if (
+            current is not None
+            and current.packet is not None
+            and current.packet.pid == state.watched_pid
+        ):
+            return  # still waiting on the same packet; keep counting
+        idx = self._next_occupied(vcs, state.watch_index + 1)
+        if idx is not None:
+            state.watch_index = idx
+            state.watched_pid = vcs[idx].packet.pid
+            fsm.on_watched_vc_progress(True)
+        else:
+            state.watched_pid = None
+            fsm.on_watched_vc_progress(False)
+
+    @staticmethod
+    def _next_occupied(vcs: List, start: int) -> Optional[int]:
+        n = len(vcs)
+        if n == 0:
+            return None
+        for k in range(n):
+            idx = (start + k) % n
+            if vcs[idx].packet is not None:
+                return idx
+        return None
+
+    def _sb_active_watchdog(
+        self, network: "Network", router: "Router", state: _SbRouterState, now: int
+    ) -> None:
+        """Detect a dissolved chain while the (unclaimed) bubble is active."""
+        fsm = state.fsm
+        if fsm.state != FsmState.S_SB_ACTIVE:
+            return
+        if router.bubble is None or router.bubble.packet is not None:
+            return
+        # Give up waiting for the chain to claim the bubble when either
+        # (a) the chain gained space without it — a free normal VC at the
+        # chain's input port means some resident drained independently (a
+        # congestion false positive), or (b) nothing has claimed it for
+        # ``sb_bubble_timeout`` cycles (the traced chain does not actually
+        # feed this router).  Both fall through to the check_probe/enable
+        # machinery so the injection restrictions are eventually lifted.
+        chain_port_full = all(
+            vc.packet is not None for vc in router.input_vcs[fsm.probe_in_port]
+        )
+        timed_out = now - state.bubble_active_since >= network.config.sb_bubble_timeout
+        if chain_port_full and not timed_out:
+            return
+        router.deactivate_bubble()
+        action = fsm.on_bubble_reclaimed()
+        if action != FsmAction.NONE:
+            self._dispatch(network, router, state, action, now)
+
+    # -- FSM action dispatch --------------------------------------------------
+
+    def _dispatch(
+        self,
+        network: "Network",
+        router: "Router",
+        state: _SbRouterState,
+        action: FsmAction,
+        now: int,
+    ) -> None:
+        fsm = state.fsm
+        node = router.node
+        if action == FsmAction.SEND_PROBE:
+            out = self._watched_output(router, state, now)
+            if out is not None and out != Port.LOCAL:
+                # (ejection is never part of a dependence chain)
+                if network.send_special(node, out, make_probe(node, Port(out))):
+                    network.stats.probes_sent += 1
+            # Liveness clarification of Fig. 5 (DESIGN.md §4): rotate the
+            # watch to the next occupied VC after an unsuccessful
+            # detection period.  With the pointer frozen on one VC, the
+            # highest-id SB router of a deadlocked ring — the only one
+            # whose probes are not dropped by the id rule — could probe a
+            # non-ring VC forever and the ring would never be traced.
+            vcs = self._compass_vcs(router)
+            idx = self._next_occupied(vcs, state.watch_index + 1)
+            if idx is not None:
+                state.watch_index = idx
+                state.watched_pid = vcs[idx].packet.pid
+            return
+        if action == FsmAction.SEND_DISABLE:
+            msg = make_path_message(
+                MsgType.DISABLE, node, fsm.turn_buffer, fsm.probe_out_port
+            )
+            if network.send_special(node, fsm.probe_out_port, msg):
+                network.stats.disables_sent += 1
+            return
+        if action == FsmAction.SEND_CHECK_PROBE:
+            if not self.use_check_probe:
+                # Ablation (paper footnote 7): skip the check_probe
+                # speed-up — tear the seal down immediately and let a
+                # fresh detection round find the chain again if it still
+                # exists.
+                fsm.state = FsmState.S_ENABLE
+                fsm.enable_retries = 0
+                fsm.count = 0
+                self._dispatch(network, router, state, FsmAction.SEND_ENABLE, now)
+                return
+            msg = make_path_message(
+                MsgType.CHECK_PROBE, node, fsm.turn_buffer, fsm.probe_out_port
+            )
+            if network.send_special(node, fsm.probe_out_port, msg):
+                network.stats.check_probes_sent += 1
+            return
+        if action == FsmAction.SEND_ENABLE:
+            msg = make_path_message(
+                MsgType.ENABLE, node, fsm.turn_buffer, fsm.probe_out_port
+            )
+            if network.send_special(node, fsm.probe_out_port, msg):
+                network.stats.enables_sent += 1
+            return
+        if action == FsmAction.ACTIVATE_BUBBLE:
+            router.set_io_restriction(
+                fsm.probe_in_port, fsm.probe_out_port, node, now
+            )
+            router.activate_bubble(fsm.probe_in_port)
+            state.bubble_active_since = now
+            network.stats.bubble_activations += 1
+            return
+        if action == FsmAction.RECOVERY_DONE:
+            network.stats.recoveries_completed += 1
+            return
+        if action == FsmAction.ABORT_RECOVERY:
+            router.clear_io_restriction()
+            router.deactivate_bubble()
+            any_active = any(vc.packet is not None for vc in self._compass_vcs(router))
+            fsm.abort_recovery(any_active)
+            return
+
+    def _watched_output(
+        self, router: "Router", state: _SbRouterState, now: int
+    ) -> Optional[Port]:
+        vcs = self._compass_vcs(router)
+        if state.watch_index >= len(vcs):
+            return None
+        packet = vcs[state.watch_index].packet
+        if packet is None or packet.pid != state.watched_pid:
+            return None
+        return Port(router._requested_output(packet))
+
+    # -- bubble reclaim hook ----------------------------------------------------
+
+    def on_bubble_drained(self, network: "Network", router: "Router", now: int) -> None:
+        state = self.states.get(router.node)
+        if state is None:
+            return
+        action = state.fsm.on_bubble_reclaimed()
+        if action != FsmAction.NONE:
+            router.deactivate_bubble()
+            self._dispatch(network, router, state, action, now)
+
+    # -- special message processing -------------------------------------------
+
+    def process_specials(
+        self,
+        network: "Network",
+        router: "Router",
+        messages: Sequence[Tuple[int, SpecialMessage]],
+        now: int,
+    ) -> None:
+        # Process in priority order (higher class, then higher sender id).
+        ordered = sorted(
+            messages, key=lambda im: (im[1].priority, im[1].sender), reverse=True
+        )
+        outgoing: Dict[int, List[SpecialMessage]] = {}
+        for in_port, msg in ordered:
+            if msg.mtype == MsgType.PROBE:
+                forwards = self._handle_probe(network, router, in_port, msg, now)
+            elif msg.mtype == MsgType.DISABLE:
+                forwards = self._handle_disable(network, router, in_port, msg, now)
+            elif msg.mtype == MsgType.CHECK_PROBE:
+                forwards = self._handle_check_probe(network, router, in_port, msg, now)
+            else:
+                forwards = self._handle_enable(network, router, in_port, msg, now)
+            for out, fwd in forwards:
+                outgoing.setdefault(out, []).append(fwd)
+        for out, candidates in outgoing.items():
+            winner = self._arbitrate_output(router, candidates)
+            network.send_special(router.node, out, winner)
+
+    @staticmethod
+    def _arbitrate_output(
+        router: "Router", candidates: List[SpecialMessage]
+    ) -> SpecialMessage:
+        """Msg_Sel priority for one output port (Section IV-C)."""
+        if len(candidates) == 1:
+            return candidates[0]
+        types = {c.mtype for c in candidates}
+        if MsgType.ENABLE in types and MsgType.DISABLE in types:
+            # Enable/disable tie: is_deadlock set -> the enable wins.
+            keep = MsgType.ENABLE if router.is_deadlock else MsgType.DISABLE
+            candidates = [
+                c
+                for c in candidates
+                if c.mtype not in (MsgType.ENABLE, MsgType.DISABLE)
+                or c.mtype == keep
+            ]
+        return max(candidates, key=lambda c: (c.priority, c.sender))
+
+    # -- per-type handlers --------------------------------------------------
+
+    def _handle_probe(
+        self,
+        network: "Network",
+        router: "Router",
+        in_port: int,
+        msg: SpecialMessage,
+        now: int,
+    ) -> List[Tuple[int, SpecialMessage]]:
+        state = self.states.get(router.node)
+        if state is not None:
+            if msg.sender == router.node:
+                # Own probe back: a dependence cycle is confirmed.  The
+                # probe carries the output port it originally left from.
+                action = state.fsm.on_probe_returned(
+                    msg.turns, Port(in_port), msg.origin_out
+                )
+                if action != FsmAction.NONE:
+                    self._dispatch(network, router, state, action, now)
+                return []
+            if msg.sender < router.node and state.fsm.state == FsmState.S_DD:
+                # Lower-id static bubble's probe while this node is itself
+                # detecting: this node wins the race (Section IV-B).  When
+                # this node is busy with another recovery (or its bubble
+                # is pinned by a stuck resident) it cannot resolve the
+                # cycle itself, so starving the lower-id sender would
+                # wedge the ring — forward instead (liveness refinement,
+                # DESIGN.md §4).
+                return []
+        # Probe Fork Unit: forward only if every VC at the probed input
+        # port is occupied; fork to the union of their requested outputs.
+        vcs = list(router.port_vcs(in_port))
+        if not vcs or any(vc.packet is None for vc in vcs):
+            return []
+        if msg.at_capacity():
+            return []
+        outs = set()
+        for vc in vcs:
+            out = router._requested_output(vc.packet)
+            if out != Port.LOCAL and out != in_port:
+                outs.add(out)
+        if not self.fork_probes and len(outs) > 1:
+            # Ablation: no Probe Fork Unit — forward only when the probed
+            # port's residents agree on one output (Section IV-B Q&A warns
+            # this misses nested dependency cycles).
+            return []
+        forwards = []
+        for out in outs:
+            turn = turn_between(Port(in_port), Port(out))
+            forwards.append((out, msg.with_turn_appended(turn, Port(out))))
+        return forwards
+
+    def _handle_disable(
+        self,
+        network: "Network",
+        router: "Router",
+        in_port: int,
+        msg: SpecialMessage,
+        now: int,
+    ) -> List[Tuple[int, SpecialMessage]]:
+        state = self.states.get(router.node)
+        if msg.sender == router.node:
+            if state is None:
+                return []
+            fsm = state.fsm
+            if fsm.state != FsmState.S_DISABLE:
+                return []
+            # Sender-side dependence re-validation (Section IV-B): the
+            # traced chain must still close through this router — the
+            # probed input port is fully occupied *and* one of its
+            # residents wants the chain's output.  Closure matters: it is
+            # what guarantees (bubble flow control's circulation argument)
+            # that the packet that claims the bubble is eventually freed
+            # by the very slot the bubble introduced, so the bubble is
+            # always re-claimed and recovery completes.
+            in_vcs = router.input_vcs[fsm.probe_in_port]
+            if not in_vcs or any(vc.packet is None for vc in in_vcs):
+                return []
+            if not router.vc_wants_output(fsm.probe_in_port, fsm.probe_out_port, now):
+                return []
+            action = fsm.on_disable_returned()
+            if action != FsmAction.NONE:
+                self._dispatch(network, router, state, action, now)
+            return []
+        if not msg.turns:
+            return []
+        out = apply_turn(msg.travel, msg.turns[0])
+        if not router.vc_wants_output(in_port, out, now):
+            return []  # the dependence dissolved: drop, sender times out
+        # A router whose single IO-priority buffer is already claimed —
+        # sealed into another chain, or an SB node running its own
+        # recovery — cannot install this chain's restriction.  The paper
+        # drops the disable here; we instead forward it *without sealing*
+        # this hop (deviation, DESIGN.md §4): the sender still gets its
+        # confirmation and activates the bubble, at the cost of one
+        # unsealed hop new traffic may slip through.  Dropping instead
+        # livelocks frozen deadlock webs in which every disable must cross
+        # some other chain's router.
+        busy = router.is_deadlock or (state is not None and state.fsm.in_recovery())
+        if not busy:
+            router.set_io_restriction(in_port, out, msg.sender, now)
+            if state is not None:
+                state.fsm.on_foreign_disable()
+        return [(out, msg.with_head_stripped(Port(out)))]
+
+    def _handle_check_probe(
+        self,
+        network: "Network",
+        router: "Router",
+        in_port: int,
+        msg: SpecialMessage,
+        now: int,
+    ) -> List[Tuple[int, SpecialMessage]]:
+        state = self.states.get(router.node)
+        if msg.sender == router.node:
+            if state is None:
+                return []
+            action = state.fsm.on_check_probe_returned()
+            if action != FsmAction.NONE:
+                self._dispatch(network, router, state, action, now)
+            return []
+        # Buffer Dependency Check unit: forward only while a VC still
+        # feeds the chain at this hop.  The output port comes from the
+        # replayed turn; for hops sealed by this sender it equals the
+        # stored IO-priority output (the paper's formulation) — using the
+        # turn also covers hops that could not be sealed because their IO
+        # buffer was claimed by another chain (see _handle_disable).
+        if not msg.turns:
+            return []
+        out = apply_turn(msg.travel, msg.turns[0])
+        if not router.vc_wants_output(in_port, out, now):
+            return []
+        return [(out, msg.with_head_stripped(Port(out)))]
+
+    def _handle_enable(
+        self,
+        network: "Network",
+        router: "Router",
+        in_port: int,
+        msg: SpecialMessage,
+        now: int,
+    ) -> List[Tuple[int, SpecialMessage]]:
+        state = self.states.get(router.node)
+        if msg.sender == router.node:
+            if state is None:
+                return []
+            fsm = state.fsm
+            if fsm.state != FsmState.S_ENABLE:
+                return []
+            router.clear_io_restriction()
+            router.deactivate_bubble()
+            any_active = any(vc.packet is not None for vc in self._compass_vcs(router))
+            action = fsm.on_enable_returned(any_active)
+            if action != FsmAction.NONE:
+                self._dispatch(network, router, state, action, now)
+            return []
+        if not msg.turns:
+            return []
+        out = apply_turn(msg.travel, msg.turns[0])
+        # Unlike disables, foreign enables are processed and forwarded even
+        # while this SB node runs its own recovery: an enable only touches
+        # state whose source-id matches its sender, so it cannot disturb
+        # the local recovery, and dropping it would leak stale seals along
+        # the other chain (a liveness hole; see DESIGN.md §4).
+        if router.source_id == msg.sender:
+            router.clear_io_restriction()
+            if state is not None and not state.fsm.in_recovery():
+                any_active = any(
+                    vc.packet is not None for vc in self._compass_vcs(router)
+                )
+                state.fsm.on_foreign_enable(any_active)
+        # Forwarded even on a source-id mismatch (Section IV-B).
+        return [(out, msg.with_head_stripped(Port(out)))]

@@ -1,0 +1,119 @@
+"""Minimal-path enumeration over (irregular) topologies.
+
+Minimal routes are the paper's default for escape-VC and Static Bubble
+schemes: every packet follows a shortest path in the *current* topology
+graph, chosen uniformly at random among the available minimal paths at
+injection time (deadlock-prone by design — recovery handles the rest).
+
+A route is a tuple of output ports: element ``i`` is the port taken at
+the ``i``-th router on the path, and the final element is ``Port.LOCAL``
+(ejection at the destination).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.turns import Port
+from repro.topology.mesh import Topology
+
+Route = Tuple[Port, ...]
+
+
+def bfs_distances(topo: Topology, source: int) -> Dict[int, int]:
+    """Hop distances from ``source`` over active links (same component)."""
+    if not topo.node_is_active(source):
+        return {}
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for _, neighbor in topo.active_neighbors(node):
+            if neighbor not in dist:
+                dist[neighbor] = dist[node] + 1
+                queue.append(neighbor)
+    return dist
+
+
+def minimal_node_paths(
+    topo: Topology,
+    src: int,
+    dst: int,
+    max_paths: int = 4,
+    dist_to_dst: Optional[Dict[int, int]] = None,
+) -> List[List[int]]:
+    """Up to ``max_paths`` distinct shortest node-paths from src to dst.
+
+    Enumerated by walking strictly "downhill" on BFS distances to the
+    destination, depth-first; the cap bounds work on highly diverse
+    meshes.  Returns ``[]`` when dst is unreachable.
+    """
+    if src == dst:
+        return [[src]]
+    if dist_to_dst is None:
+        dist_to_dst = bfs_distances(topo, dst)
+    if src not in dist_to_dst:
+        return []
+    paths: List[List[int]] = []
+    stack: List[List[int]] = [[src]]
+    while stack and len(paths) < max_paths:
+        path = stack.pop()
+        node = path[-1]
+        if node == dst:
+            paths.append(path)
+            continue
+        here = dist_to_dst[node]
+        for _, neighbor in topo.active_neighbors(node):
+            if dist_to_dst.get(neighbor, -1) == here - 1:
+                stack.append(path + [neighbor])
+    return paths
+
+
+def node_path_to_route(topo: Topology, node_path: Sequence[int]) -> Route:
+    """Convert a node path into a port route (ending with ejection)."""
+    ports: List[Port] = []
+    for u, v in zip(node_path, node_path[1:]):
+        ports.append(topo.port_between(u, v))
+    ports.append(Port.LOCAL)
+    return tuple(ports)
+
+
+def minimal_routes(
+    topo: Topology,
+    src: int,
+    dst: int,
+    max_paths: int = 4,
+    dist_to_dst: Optional[Dict[int, int]] = None,
+) -> List[Route]:
+    """Up to ``max_paths`` minimal port-routes from src to dst."""
+    return [
+        node_path_to_route(topo, path)
+        for path in minimal_node_paths(topo, src, dst, max_paths, dist_to_dst)
+    ]
+
+
+def route_node_sequence(topo: Topology, src: int, route: Route) -> List[int]:
+    """Nodes visited by ``route`` starting at ``src`` (inverse of above)."""
+    nodes = [src]
+    for port in route[:-1]:
+        nxt = topo.neighbor(nodes[-1], port)
+        if nxt is None:
+            raise ValueError("route walks off the mesh")
+        nodes.append(nxt)
+    return nodes
+
+
+def route_is_valid(topo: Topology, src: int, dst: int, route: Route) -> bool:
+    """Check a route traverses only active links and ends at ``dst``."""
+    if not route or route[-1] != Port.LOCAL:
+        return False
+    node = src
+    for port in route[:-1]:
+        if port == Port.LOCAL:
+            return False
+        nxt = topo.neighbor(node, port)
+        if nxt is None or not topo.link_is_active(node, nxt):
+            return False
+        node = nxt
+    return node == dst

@@ -1,0 +1,214 @@
+"""Spanning trees and up*/down* routing (the paper's first baseline).
+
+State-of-the-art resiliency/power-gating works (Ariadne, uDIREC, Panthre)
+achieve deadlock freedom on irregular topologies by building a spanning
+tree over the surviving network and applying *up*/down** routing: links
+toward the root are "up", links away are "down" (ties broken by node id),
+and the down->up turn is forbidden.  Any up*down* path is deadlock-free;
+the cost is non-minimal routes and reduced path diversity — exactly the
+penalty Static Bubble removes.
+
+This module provides:
+
+* :class:`SpanningTree` — BFS tree over a component with the up/down
+  ordering (root chosen to minimize total distance, a common heuristic;
+  the paper notes optimal root selection is an exponential search).
+* :func:`updown_route` — shortest up*/down*-valid route over *all* active
+  links (used by the spanning-tree avoidance baseline's source routing).
+* :func:`tree_next_hop_tables` — pure tree routing next-hop tables (used
+  by the escape-VC baseline's per-router escape tables, a la Router
+  Parking).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.turns import Port
+from repro.routing.paths import Route, bfs_distances, node_path_to_route
+from repro.topology.mesh import Topology
+
+
+class SpanningTree:
+    """BFS spanning tree of one connected component with up/down ordering."""
+
+    def __init__(self, topo: Topology, root: int) -> None:
+        if not topo.node_is_active(root):
+            raise ValueError(f"root {root} is not active")
+        self.topo = topo
+        self.root = root
+        self.parent: Dict[int, Optional[int]] = {root: None}
+        self.depth: Dict[int, int] = {root: 0}
+        self.children: Dict[int, List[int]] = {root: []}
+        queue = deque([root])
+        while queue:
+            node = queue.popleft()
+            for _, neighbor in sorted(topo.active_neighbors(node), key=lambda p: p[1]):
+                if neighbor not in self.depth:
+                    self.depth[neighbor] = self.depth[node] + 1
+                    self.parent[neighbor] = node
+                    self.children.setdefault(node, []).append(neighbor)
+                    self.children.setdefault(neighbor, [])
+                    queue.append(neighbor)
+
+    def covers(self, node: int) -> bool:
+        return node in self.depth
+
+    def nodes(self) -> Set[int]:
+        return set(self.depth)
+
+    def order_key(self, node: int) -> Tuple[int, int]:
+        """Total order: closer to the root (then lower id) is 'higher up'."""
+        return (self.depth[node], node)
+
+    def edge_is_up(self, u: int, v: int) -> bool:
+        """True iff traversing the u->v channel moves 'up' (toward the root)."""
+        return self.order_key(v) < self.order_key(u)
+
+    def tree_path(self, src: int, dst: int) -> List[int]:
+        """The unique tree path src -> ... -> dst (up to LCA, then down)."""
+        if not (self.covers(src) and self.covers(dst)):
+            raise ValueError("src/dst outside the tree's component")
+        up_src, up_dst = [src], [dst]
+        a, b = src, dst
+        while a != b:
+            if self.depth[a] >= self.depth[b]:
+                a = self.parent[a]
+                up_src.append(a)
+            else:
+                b = self.parent[b]
+                up_dst.append(b)
+        return up_src + up_dst[-2::-1]
+
+
+def choose_root(topo: Topology, component: Set[int]) -> int:
+    """Pick the node minimizing total BFS distance within its component.
+
+    A centroid-ish root keeps up*/down* detours short — the standard
+    heuristic stand-in for the exponential optimal-root search the paper
+    mentions.
+    """
+    best_node, best_cost = None, None
+    for node in sorted(component):
+        dist = bfs_distances(topo, node)
+        cost = sum(dist[n] for n in component if n in dist)
+        if best_cost is None or cost < best_cost:
+            best_node, best_cost = node, cost
+    if best_node is None:
+        raise ValueError("empty component")
+    return best_node
+
+
+def build_spanning_trees(topo: Topology) -> List[SpanningTree]:
+    """One spanning tree per connected component (largest first)."""
+    from repro.topology.graph import connected_components
+
+    trees = []
+    for component in connected_components(topo):
+        root = choose_root(topo, component)
+        trees.append(SpanningTree(topo, root))
+    return trees
+
+
+def updown_route(
+    topo: Topology, tree: SpanningTree, src: int, dst: int
+) -> Optional[Route]:
+    """Shortest up*/down*-valid port route over all active links.
+
+    BFS over states ``(node, has_gone_down)``; taking an up channel after
+    any down channel is forbidden.  Uses *all* active links of the
+    component (not just tree links) — up*/down* only constrains turn
+    order, which is how Ariadne-style reconfiguration works.
+    Returns ``None`` when src/dst are not in the tree's component.
+    """
+    if not (tree.covers(src) and tree.covers(dst)):
+        return None
+    if src == dst:
+        return (Port.LOCAL,)
+    start = (src, False)
+    parent_state: Dict[Tuple[int, bool], Tuple[int, bool]] = {start: start}
+    queue = deque([start])
+    goal: Optional[Tuple[int, bool]] = None
+    while queue and goal is None:
+        node, gone_down = queue.popleft()
+        for _, neighbor in topo.active_neighbors(node):
+            if not tree.covers(neighbor):
+                continue
+            edge_up = tree.edge_is_up(node, neighbor)
+            if gone_down and edge_up:
+                continue  # the forbidden down -> up turn
+            state = (neighbor, gone_down or not edge_up)
+            if state in parent_state:
+                continue
+            parent_state[state] = (node, gone_down)
+            if neighbor == dst:
+                goal = state
+                break
+            queue.append(state)
+    if goal is None:
+        # Both down-state goals missed; check the other polarity too.
+        for flag in (False, True):
+            if (dst, flag) in parent_state:
+                goal = (dst, flag)
+                break
+    if goal is None:
+        return None
+    nodes: List[int] = []
+    state = goal
+    while True:
+        nodes.append(state[0])
+        prev = parent_state[state]
+        if prev == state:
+            break
+        state = prev
+    nodes.reverse()
+    return node_path_to_route(topo, nodes)
+
+
+def tree_next_hop_tables(
+    topo: Topology, tree: SpanningTree
+) -> Dict[int, Dict[int, Port]]:
+    """Per-router next-hop (output port) tables for pure tree routing.
+
+    ``tables[node][dst]`` is the output port at ``node`` toward ``dst``
+    along the unique tree path: down into the subtree containing ``dst``
+    if there is one, else up to the parent.  Tree routing is trivially
+    up*/down*-valid and hence deadlock-free — it is the escape path used
+    by the escape-VC baseline.
+    """
+    # For each node, which subtree (child) each destination lives under.
+    tables: Dict[int, Dict[int, Port]] = {n: {} for n in tree.nodes()}
+
+    # Iterative post-order to avoid recursion limits on long chains.
+    subtree: Dict[int, Set[int]] = {}
+    stack: List[Tuple[int, bool]] = [(tree.root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            acc = {node}
+            for child in tree.children.get(node, []):
+                acc |= subtree[child]
+            subtree[node] = acc
+        else:
+            stack.append((node, True))
+            for child in tree.children.get(node, []):
+                stack.append((child, False))
+
+    for node in tree.nodes():
+        parent = tree.parent[node]
+        for dst in tree.nodes():
+            if dst == node:
+                tables[node][dst] = Port.LOCAL
+                continue
+            port: Optional[Port] = None
+            for child in tree.children.get(node, []):
+                if dst in subtree[child]:
+                    port = topo.port_between(node, child)
+                    break
+            if port is None:
+                if parent is None:
+                    raise RuntimeError("destination not under root subtree")
+                port = topo.port_between(node, parent)
+            tables[node][dst] = port
+    return tables

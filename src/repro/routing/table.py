@@ -1,0 +1,95 @@
+"""Source-routing tables held at each network interface (Section II-D).
+
+The paper leverages prior reconfiguration work: on every topology change,
+software/hardware identifies connectivity and populates a routing table
+at every source NI; each packet is injected carrying its full route.  We
+model the populated tables directly (reconfiguration cost is assumed zero
+for the baselines too, matching Section V-B).
+
+Builders:
+
+* :func:`build_minimal_tables` — up to ``max_paths`` minimal routes per
+  destination (Static Bubble / escape-VC normal path / unprotected).
+* :func:`build_updown_tables` — single up*/down* route per destination
+  (spanning-tree avoidance baseline).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.routing.paths import Route, bfs_distances, minimal_routes
+from repro.routing.spanning_tree import (
+    SpanningTree,
+    build_spanning_trees,
+    updown_route,
+)
+from repro.topology.mesh import Topology
+
+
+class RoutingTable:
+    """Routes from one source node to every reachable destination."""
+
+    def __init__(self, source: int) -> None:
+        self.source = source
+        self._routes: Dict[int, List[Route]] = {}
+
+    def add_route(self, dst: int, route: Route) -> None:
+        self._routes.setdefault(dst, []).append(route)
+
+    def destinations(self) -> List[int]:
+        return sorted(self._routes)
+
+    def has_route(self, dst: int) -> bool:
+        return dst in self._routes
+
+    def routes(self, dst: int) -> List[Route]:
+        return self._routes.get(dst, [])
+
+    def pick_route(self, dst: int, rng: random.Random) -> Optional[Route]:
+        """Uniformly random choice among the stored routes (paper fn. 1)."""
+        options = self._routes.get(dst)
+        if not options:
+            return None
+        if len(options) == 1:
+            return options[0]
+        return options[rng.randrange(len(options))]
+
+
+def build_minimal_tables(
+    topo: Topology, max_paths: int = 4
+) -> Dict[int, RoutingTable]:
+    """Minimal-route tables for every active node.
+
+    Per-destination BFS keeps this at ``O(nodes * edges)`` plus path
+    enumeration; adequate up to the 16x16 meshes used here.
+    """
+    tables = {node: RoutingTable(node) for node in topo.active_nodes()}
+    for dst in topo.active_nodes():
+        dist = bfs_distances(topo, dst)
+        for src in dist:
+            if src == dst:
+                continue
+            for route in minimal_routes(topo, src, dst, max_paths, dist):
+                tables[src].add_route(dst, route)
+    return tables
+
+
+def build_updown_tables(
+    topo: Topology, trees: Optional[List[SpanningTree]] = None
+) -> Dict[int, RoutingTable]:
+    """Up*/down* route tables (one route per destination) per active node."""
+    if trees is None:
+        trees = build_spanning_trees(topo)
+    tables = {node: RoutingTable(node) for node in topo.active_nodes()}
+    for tree in trees:
+        members = sorted(tree.nodes())
+        for src in members:
+            for dst in members:
+                if src == dst:
+                    continue
+                route = updown_route(topo, tree, src, dst)
+                if route is not None:
+                    tables[src].add_route(dst, route)
+    return tables

@@ -1,0 +1,34 @@
+"""Cycle-level NoC simulator (virtual cut-through, packet granularity)."""
+
+from repro.sim.config import SimConfig
+from repro.sim.packet import Packet
+from repro.sim.router import Router, VirtualChannel, OutputLink
+from repro.sim.ni import NetworkInterface
+from repro.sim.network import Network
+from repro.sim.stats import NetworkStats
+from repro.sim.deadlock import DeadlockMonitor, find_wait_cycle
+from repro.sim.engine import (
+    WindowResult,
+    deadlocks_within,
+    run_cycles,
+    run_to_drain,
+    run_with_window,
+)
+
+__all__ = [
+    "SimConfig",
+    "Packet",
+    "Router",
+    "VirtualChannel",
+    "OutputLink",
+    "NetworkInterface",
+    "Network",
+    "NetworkStats",
+    "DeadlockMonitor",
+    "find_wait_cycle",
+    "WindowResult",
+    "deadlocks_within",
+    "run_cycles",
+    "run_to_drain",
+    "run_with_window",
+]

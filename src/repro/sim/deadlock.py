@@ -1,0 +1,132 @@
+"""Ground-truth deadlock detection (the experiment oracle).
+
+Independent of any recovery scheme, the monitor builds the packet
+wait-for graph — packet P (at the head of a VC, wanting output port
+``o``) waits on the packets occupying *all* VCs it could use at the next
+hop — and searches it for a cycle.  A cycle of buffer waits that cannot
+be broken by any drain is precisely a routing deadlock.
+
+Used by the Fig. 2 / Fig. 3 state-space studies (does this topology
+deadlock at this injection rate?) and by the test-suite as the oracle
+that Static Bubble recovery really clears deadlocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.core.turns import Port, opposite
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+
+def find_wait_cycle(network: "Network", now: int) -> Optional[List[int]]:
+    """Return the pids of one wait-for cycle, or None.
+
+    A packet is *blocked on buffers* when its requested output link is
+    healthy and every VC it could occupy at the next hop is held by a
+    packet (VCs merely draining their tail are transiently busy and do
+    not count — they will free without any dependency).
+    """
+    # adjacency: pid -> list of pids it waits on
+    adjacency: Dict[int, List[int]] = {}
+    for router in network.active_routers():
+        if router.occupancy == 0:
+            continue
+        for vc in router.all_vcs():
+            if not vc.has_switchable_packet(now):
+                continue
+            packet = vc.packet
+            out = router._requested_output(packet)
+            if out == Port.LOCAL:
+                continue  # ejection always drains
+            link = router.output_links[out]
+            if link is None:
+                continue  # stuck on a dead link: a routing bug, not deadlock
+            downstream = network.router_at(link.dest_node)
+            in_port = opposite(Port(out))
+            waits_on: List[int] = []
+            blocked = True
+            wanted_kind = 1 if packet.is_escape else 0  # VC_ESCAPE / VC_NORMAL
+            for cand in downstream.port_vcs(in_port):
+                if cand.kind == 2:  # bubble: usable by normal packets
+                    usable = not packet.is_escape
+                elif cand.kind == wanted_kind and cand.vnet == packet.vnet:
+                    usable = True
+                else:
+                    usable = False
+                if not usable:
+                    continue
+                if cand.packet is None:
+                    # Free now or merely draining: the wait will resolve.
+                    blocked = False
+                    break
+                waits_on.append(cand.packet.pid)
+            if blocked and waits_on:
+                adjacency[packet.pid] = waits_on
+    return _find_cycle(adjacency)
+
+
+def _find_cycle(adjacency: Dict[int, List[int]]) -> Optional[List[int]]:
+    """Iterative DFS cycle search over the wait-for graph."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {pid: WHITE for pid in adjacency}
+    for start in adjacency:
+        if color[start] != WHITE:
+            continue
+        stack: List[tuple] = [(start, iter(adjacency[start]))]
+        path: List[int] = [start]
+        color[start] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in adjacency:
+                    continue  # waits on a packet that is itself unblocked
+                if color[nxt] == GRAY:
+                    # cycle: slice the current path from nxt onward
+                    idx = path.index(nxt)
+                    return path[idx:]
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, iter(adjacency[nxt])))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+    return None
+
+
+class DeadlockMonitor:
+    """Periodically checks the network for true wait-for cycles.
+
+    ``interval`` spaces out the (O(VCs)) graph construction; the cheap
+    progress pre-check (`no transfer since last check`) skips the build
+    entirely while traffic is flowing.
+    """
+
+    def __init__(self, interval: int = 64) -> None:
+        self.interval = interval
+        self.deadlocked_pids: Set[int] = set()
+        self.first_deadlock_cycle: Optional[int] = None
+        self._last_check = 0
+
+    def check(self, network: "Network", now: int) -> bool:
+        """Run the detector if due; True iff a (new or old) cycle exists."""
+        if now - self._last_check < self.interval:
+            return False
+        self._last_check = now
+        cycle = find_wait_cycle(network, now)
+        if cycle is None:
+            return False
+        new = [pid for pid in cycle if pid not in self.deadlocked_pids]
+        if new:
+            network.stats.deadlocks_observed += 1
+            self.deadlocked_pids.update(cycle)
+        if self.first_deadlock_cycle is None:
+            self.first_deadlock_cycle = now
+        return True

@@ -1,0 +1,168 @@
+"""Diagnostics: inspect deadlocks, FSM state, and special-message traffic.
+
+These are the tools used to debug the recovery protocol itself; they are
+shipped because anyone extending the scheme (new placements, new message
+types, different flow control) will need exactly them.
+
+* :func:`describe_wait_cycle` — locate every packet of a wait-for cycle
+  (router, input port, requested output, seal state).
+* :func:`fsm_snapshot` — one line per static-bubble router: FSM state,
+  counter, watch target, bubble occupancy.
+* :class:`SpecialMessageTracer` — wrap a network to log every special
+  message launch (optionally filtered by sender).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.messages import MsgType, SpecialMessage
+from repro.core.turns import Port
+from repro.sim.deadlock import find_wait_cycle
+from repro.sim.network import Network
+
+
+@dataclass
+class WaitingPacket:
+    """One packet of a wait-for cycle, located in the network."""
+
+    pid: int
+    node: int
+    in_port: Port
+    wants: Port
+    vc_kind: int
+    router_sealed: bool
+    seal_source: Optional[int]
+
+    def describe(self) -> str:
+        seal = f" sealed(src={self.seal_source})" if self.router_sealed else ""
+        return (
+            f"pid={self.pid} node={self.node} in={self.in_port.name} "
+            f"wants={self.wants.name}{seal}"
+        )
+
+
+def locate_packets(network: Network) -> Dict[int, Tuple]:
+    """Map pid -> (router, vc) for every packet resident in a VC."""
+    located = {}
+    for router in network.active_routers():
+        for vc in router.all_vcs():
+            if vc.packet is not None:
+                located[vc.packet.pid] = (router, vc)
+    return located
+
+
+def describe_wait_cycle(network: Network) -> List[WaitingPacket]:
+    """The current wait-for cycle as located packets ([] if none)."""
+    cycle = find_wait_cycle(network, network.cycle)
+    if cycle is None:
+        return []
+    located = locate_packets(network)
+    result = []
+    for pid in cycle:
+        router, vc = located[pid]
+        result.append(
+            WaitingPacket(
+                pid=pid,
+                node=router.node,
+                in_port=Port(vc.port),
+                wants=Port(router._requested_output(vc.packet)),
+                vc_kind=vc.kind,
+                router_sealed=router.is_deadlock,
+                seal_source=router.source_id,
+            )
+        )
+    return result
+
+
+def fsm_snapshot(network: Network) -> List[str]:
+    """One status line per static-bubble router (empty for other schemes)."""
+    scheme = network.scheme
+    states = getattr(scheme, "states", None)
+    if not states:
+        return []
+    lines = []
+    for node in sorted(states):
+        state = states[node]
+        router = network.routers[node]
+        bubble = router.bubble
+        occupied = bubble is not None and bubble.packet is not None
+        lines.append(
+            f"SB {node:3d}: {state.fsm.state.name:13s} "
+            f"count={state.fsm.count:3d}/{state.fsm.threshold:3d} "
+            f"watch_idx={state.watch_index:2d} "
+            f"bubble={'occupied' if occupied else 'active' if router.bubble_active else 'off'} "
+            f"sealed={router.is_deadlock}"
+        )
+    return lines
+
+
+class SpecialMessageTracer:
+    """Log every special-message launch of a network.
+
+    Usage::
+
+        tracer = SpecialMessageTracer(net, senders={50})
+        net.run(200)
+        for line in tracer.lines: print(line)
+
+    The tracer wraps ``network.send_special``; call :meth:`detach` to
+    restore the original.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        senders: Optional[set] = None,
+        sink: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.network = network
+        self.senders = senders
+        self.sink = sink
+        self.lines: List[str] = []
+        self.counts: Dict[MsgType, int] = {t: 0 for t in MsgType}
+        self._original = network.send_special
+        self._installed = self._traced
+        network.send_special = self._installed  # type: ignore[method-assign]
+
+    def _traced(self, from_node: int, out_port: int, msg: SpecialMessage) -> bool:
+        ok = self._original(from_node, out_port, msg)
+        if self.senders is None or msg.sender in self.senders:
+            self.counts[msg.mtype] += 1
+            line = (
+                f"cycle {self.network.cycle:5d}: {msg.mtype.name:11s} "
+                f"sender={msg.sender:3d} at node {from_node:3d} "
+                f"out {Port(out_port).name:5s} turns={len(msg.turns)} "
+                f"{'sent' if ok else 'no-link'}"
+            )
+            self.lines.append(line)
+            if self.sink is not None:
+                self.sink(line)
+        return ok
+
+    def detach(self) -> None:
+        original_func = getattr(self._original, "__func__", None)
+        if original_func is type(self.network).send_special:
+            # The original was the plain class method: drop our override.
+            self.network.__dict__.pop("send_special", None)
+        else:
+            # The original was itself an override (stacked tracer, test
+            # harness, ...): reinstall it.
+            self.network.send_special = self._original  # type: ignore[method-assign]
+
+
+def seal_census(network: Network) -> List[Tuple[int, int, Port, Port]]:
+    """All currently sealed routers: (node, source, in_port, out_port)."""
+    result = []
+    for router in network.active_routers():
+        if router.is_deadlock:
+            result.append(
+                (
+                    router.node,
+                    router.source_id,
+                    Port(router.io_in_port),
+                    Port(router.io_out_port),
+                )
+            )
+    return result

@@ -1,0 +1,97 @@
+"""Run-loop helpers: warm-up/measure windows, drain runs, deadlock runs.
+
+These wrap :class:`repro.sim.network.Network` with the measurement
+discipline the experiments need (warm-up before measuring latency,
+stop-at-first-deadlock for the state-space studies, run-to-drain for
+application "runtime").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.deadlock import DeadlockMonitor
+from repro.sim.network import Network
+
+
+@dataclass
+class WindowResult:
+    """Measurement-window metrics of one simulation."""
+
+    avg_latency: float
+    throughput_flits_node_cycle: float
+    packets_ejected: int
+    deadlocked: bool
+    cycles: int
+
+
+def run_cycles(network: Network, cycles: int) -> None:
+    network.run(cycles)
+
+
+def run_with_window(
+    network: Network,
+    warmup: int,
+    measure: int,
+    monitor: Optional[DeadlockMonitor] = None,
+    stop_on_deadlock: bool = False,
+) -> WindowResult:
+    """Warm up, then measure latency/throughput over ``measure`` cycles."""
+    deadlocked = False
+    for _ in range(warmup):
+        network.step()
+        if monitor is not None and monitor.check(network, network.cycle):
+            deadlocked = True
+            if stop_on_deadlock:
+                return WindowResult(0.0, 0.0, 0, True, network.cycle)
+    network.stats.begin_window(network.cycle)
+    for _ in range(measure):
+        network.step()
+        if monitor is not None and monitor.check(network, network.cycle):
+            deadlocked = True
+            if stop_on_deadlock:
+                break
+    stats = network.stats
+    return WindowResult(
+        avg_latency=stats.window_avg_latency(),
+        throughput_flits_node_cycle=stats.window_throughput(
+            network.cycle, len(network.nis)
+        ),
+        packets_ejected=stats.window_packets_ejected,
+        deadlocked=deadlocked,
+        cycles=network.cycle,
+    )
+
+
+def run_to_drain(network: Network, max_cycles: int) -> Optional[int]:
+    """Run until all traffic is delivered; cycle count, or None on timeout.
+
+    Requires a finite traffic source (a trace); checks the source is
+    exhausted and the network empty.
+    """
+    idle_check_every = 8
+    for _ in range(max_cycles):
+        network.step()
+        if network.cycle % idle_check_every == 0:
+            traffic_done = network.traffic is None or network.traffic.exhausted(
+                network.cycle
+            )
+            if traffic_done and network.is_drained():
+                return network.cycle
+    return None
+
+
+def deadlocks_within(
+    network: Network,
+    cycles: int,
+    monitor: Optional[DeadlockMonitor] = None,
+) -> bool:
+    """Does a true wait-for cycle appear within ``cycles``?  (Fig. 2/3)."""
+    if monitor is None:
+        monitor = DeadlockMonitor(interval=32)
+    for _ in range(cycles):
+        network.step()
+        if monitor.check(network, network.cycle):
+            return True
+    return False

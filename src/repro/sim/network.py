@@ -1,0 +1,257 @@
+"""The network: routers + links + NIs + scheme, advanced cycle by cycle.
+
+Per-cycle order (one ``step()``):
+
+1. Deliver special messages due this cycle (Static Bubble protocol);
+   forwarded copies are scheduled ``now + 2`` (1-cycle process + 1-cycle
+   link) and claim their output link for the cycle (flits lose switch
+   arbitration to them, paper footnote 10).
+2. Inject traffic: ask the traffic generator for new packets, then move
+   queued packets into free local-port VCs.
+3. Switch allocation at every occupied router (separable round-robin,
+   one grant per input and output port) and the granted transfers.
+4. Scheme per-cycle work (SB counter FSMs / escape-VC diversion timers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import MsgType, SpecialMessage
+from repro.core.turns import Port, opposite
+from repro.sim.config import SimConfig
+from repro.sim.ni import NetworkInterface
+from repro.sim.packet import Packet
+from repro.sim.router import Router, VC_BUBBLE, VirtualChannel, OutputLink
+from repro.sim.stats import NetworkStats
+from repro.topology.mesh import Topology
+from repro.utils.rng import spawn_rng
+
+_SPECIAL_STAT_KEY = {
+    MsgType.PROBE: "probe",
+    MsgType.DISABLE: "disable",
+    MsgType.ENABLE: "enable",
+    MsgType.CHECK_PROBE: "check_probe",
+}
+
+
+class Network:
+    """A simulated NoC over one (possibly irregular) topology."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        config: SimConfig,
+        scheme,
+        traffic=None,
+        seed: int = 1,
+    ) -> None:
+        config.validate()
+        if (topo.width, topo.height) != (config.width, config.height):
+            raise ValueError("topology and config dimensions disagree")
+        self.topo = topo
+        self.config = config
+        self.scheme = scheme
+        self.traffic = traffic
+        self.stats = NetworkStats()
+        self.cycle = 0
+        self._rng = spawn_rng(seed, "network")
+
+        # Routers for active nodes only.
+        self.routers: Dict[int, Router] = {}
+        for node in topo.active_nodes():
+            self.routers[node] = Router(node, config.vnets, config.vcs_per_vnet)
+        self._router_list: List[Router] = list(self.routers.values())
+
+        # Output links (ejection link on every router; inter-router links
+        # only where the topology is active).
+        for node, router in self.routers.items():
+            router.output_links[Port.LOCAL] = OutputLink(None)
+            for direction, neighbor in topo.active_neighbors(node):
+                router.output_links[direction] = OutputLink(neighbor)
+
+        # Routing tables + NIs.
+        tables = scheme.build_tables(topo, config)
+        self.nis: Dict[int, NetworkInterface] = {}
+        for node, router in self.routers.items():
+            table = tables.get(node)
+            if table is None:
+                continue
+            self.nis[node] = NetworkInterface(
+                node,
+                table,
+                router,
+                self.stats,
+                spawn_rng(seed, "ni", node),
+                queue_cap=config.injection_queue_cap,
+            )
+        self._ni_list: List[NetworkInterface] = list(self.nis.values())
+
+        #: Special messages in flight: arrival cycle -> [(node, in_port, msg)].
+        self._special_arrivals: Dict[int, List[Tuple[int, int, SpecialMessage]]] = {}
+
+        # Closed-loop traffic sources react to packet deliveries.
+        if traffic is not None and hasattr(traffic, "on_packet_ejected"):
+            hook = traffic.on_packet_ejected
+            for ni in self._ni_list:
+                ni.eject_hook = hook
+
+        scheme.setup(self)
+
+    # -- access --------------------------------------------------------
+
+    def router_at(self, node: int) -> Router:
+        return self.routers[node]
+
+    def active_routers(self) -> List[Router]:
+        return self._router_list
+
+    def total_occupancy(self) -> int:
+        return sum(router.occupancy for router in self._router_list)
+
+    def queued_packets(self) -> int:
+        return sum(len(ni.queue) for ni in self._ni_list)
+
+    def is_drained(self) -> bool:
+        return self.total_occupancy() == 0 and self.queued_packets() == 0
+
+    # -- special message transport ---------------------------------------
+
+    def send_special(self, from_node: int, out_port: int, msg: SpecialMessage) -> bool:
+        """Launch a special message; False if the output link is absent.
+
+        The link is claimed for the current cycle (specials beat flits at
+        the output mux) and delivery is scheduled ``now + 2``.
+        """
+        router = self.routers[from_node]
+        link = router.output_links[out_port]
+        if link is None or link.dest_node is None:
+            return False
+        link.special_blocked_at = self.cycle
+        self.stats.link_special_cycles[_SPECIAL_STAT_KEY[msg.mtype]] += 1
+        arrival = self.cycle + 2
+        self._special_arrivals.setdefault(arrival, []).append(
+            (link.dest_node, opposite(Port(out_port)), msg)
+        )
+        return True
+
+    def _deliver_specials(self, now: int) -> None:
+        arrivals = self._special_arrivals.pop(now, None)
+        if not arrivals:
+            return
+        by_router: Dict[int, List[Tuple[int, SpecialMessage]]] = {}
+        for node, in_port, msg in arrivals:
+            if node in self.routers:
+                by_router.setdefault(node, []).append((in_port, msg))
+        for node, messages in by_router.items():
+            self.scheme.process_specials(self, self.routers[node], messages, now)
+
+    # -- per-cycle machinery -----------------------------------------------
+
+    def step(self) -> None:
+        now = self.cycle
+        self._deliver_specials(now)
+        self._inject_traffic(now)
+        for ni in self._ni_list:
+            ni.try_inject(now)
+        for router in self._router_list:
+            if router.occupancy:
+                self._allocate_router(router, now)
+        self.scheme.on_cycle(self, now)
+        self.stats.cycles += 1
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def _inject_traffic(self, now: int) -> None:
+        if self.traffic is None:
+            return
+        for src, dst, vnet, size in self.traffic.packets_at(now):
+            ni = self.nis.get(src)
+            if ni is None:
+                self.stats.packets_dropped_unreachable += 1
+                continue
+            ni.create_packet(dst, vnet, size, now)
+
+    # -- switch allocation ---------------------------------------------------
+
+    def _allocate_router(self, router: Router, now: int) -> None:
+        requests: List[Tuple[int, VirtualChannel, Packet, int, object]] = []
+        # Input arbitration: one candidate VC per input port (round-robin).
+        for port in range(5):
+            vcs = list(router.port_vcs(port))
+            n = len(vcs)
+            if n == 0:
+                continue
+            start = router._in_rr[port] % n
+            chosen = None
+            for k in range(n):
+                vc = vcs[(start + k) % n]
+                if not vc.has_switchable_packet(now):
+                    continue
+                packet = vc.packet
+                out = router._requested_output(packet)
+                link = router.output_links[out]
+                if link is None or not link.is_free(now):
+                    continue
+                if not router.injection_allowed(port, out):
+                    continue
+                if out == Port.LOCAL:
+                    target = None
+                else:
+                    downstream = self.routers[link.dest_node]
+                    target = downstream.free_vc_for(opposite(Port(out)), packet, now)
+                    if target is None:
+                        continue
+                chosen = (vc, packet, out, target)
+                router._in_rr[port] = (start + k + 1) % n
+                break
+            if chosen is not None:
+                requests.append((port, *chosen))
+        if not requests:
+            return
+        # Output arbitration: one grant per output port (round-robin on
+        # input port index).
+        by_out: Dict[int, List[Tuple[int, VirtualChannel, Packet, object]]] = {}
+        for port, vc, packet, out, target in requests:
+            by_out.setdefault(out, []).append((port, vc, packet, target))
+        for out, contenders in by_out.items():
+            if len(contenders) == 1:
+                winner = contenders[0]
+            else:
+                rr = router._out_rr[out]
+                winner = min(contenders, key=lambda c: (c[0] - rr) % 5)
+            router._out_rr[out] = (winner[0] + 1) % 5
+            self._transfer(router, winner[1], winner[2], out, winner[3], now)
+
+    def _transfer(
+        self,
+        router: Router,
+        vc: VirtualChannel,
+        packet: Packet,
+        out: int,
+        target: Optional[VirtualChannel],
+        now: int,
+    ) -> None:
+        link = router.output_links[out]
+        size = packet.size
+        link.busy_until = now + size
+        vc.packet = None
+        vc.free_at = now + size
+        router.occupancy -= 1
+        self.stats.buffer_reads += size
+        self.stats.crossbar_flits += size
+        if out == Port.LOCAL:
+            self.nis[router.node].eject(packet, now)
+        else:
+            self.stats.link_flit_cycles += size
+            self.stats.buffer_writes += size
+            target.packet = packet
+            target.ready_at = now + 2
+            self.routers[link.dest_node].occupancy += 1
+            if not packet.is_escape:
+                packet.hop += 1
+        if vc.kind == VC_BUBBLE:
+            self.scheme.on_bubble_drained(self, router, now)

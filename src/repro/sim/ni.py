@@ -1,0 +1,104 @@
+"""Network interface: source-routing table + injection/ejection queues.
+
+Each active node has an NI that stamps a route onto every packet at
+injection (Section II-D).  Packets whose destination is unreachable in
+the current topology are dropped at the NI, as in the paper's synthetic
+sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from repro.core.turns import Port
+from repro.routing.table import RoutingTable
+from repro.sim.packet import Packet
+from repro.sim.stats import NetworkStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.router import Router
+
+
+class NetworkInterface:
+    """Injection queue + routing table of one node."""
+
+    def __init__(
+        self,
+        node: int,
+        table: RoutingTable,
+        router: "Router",
+        stats: NetworkStats,
+        rng: random.Random,
+        queue_cap: int = 0,
+    ) -> None:
+        self.node = node
+        self.table = table
+        self.router = router
+        self.stats = stats
+        self.rng = rng
+        self.queue_cap = queue_cap
+        self.queue: Deque[Packet] = deque()
+        self._next_pid = node * 10_000_000
+        self.packets_refused = 0
+        #: Optional callback invoked on every delivery (closed-loop traffic).
+        self.eject_hook = None
+
+    def create_packet(
+        self, dst: int, vnet: int, size: int, now: int
+    ) -> Optional[Packet]:
+        """Route and enqueue a new packet; None if dropped/refused.
+
+        Drops (unreachable destination) and refusals (queue full) are
+        counted separately: refusals are back-pressure at saturation, not
+        losses.
+        """
+        route = self.table.pick_route(dst, self.rng)
+        if route is None:
+            self.stats.packets_dropped_unreachable += 1
+            return None
+        if self.queue_cap and len(self.queue) >= self.queue_cap:
+            self.packets_refused += 1
+            return None
+        self._next_pid += 1
+        packet = Packet(self._next_pid, self.node, dst, vnet, size, route, now)
+        self.queue.append(packet)
+        self.stats.packets_created += 1
+        return packet
+
+    def try_inject(self, now: int) -> bool:
+        """Move the queue head into a free local-port VC (one per cycle)."""
+        if not self.queue:
+            return False
+        packet = self.queue[0]
+        vc = self.router.free_vc_for(Port.LOCAL, packet, now)
+        if vc is None:
+            return False
+        if not self.router.injection_allowed(Port.LOCAL, packet.route[0]):
+            # The local port is sealed out of a deadlocked chain; hold the
+            # packet at the NI rather than occupying a VC it cannot leave.
+            return False
+        self.queue.popleft()
+        vc.packet = packet
+        vc.ready_at = now + 1
+        self.router.occupancy += 1
+        packet.injected_at = now
+        self.stats.packets_injected += 1
+        self.stats.flits_injected += packet.size
+        self.stats.buffer_writes += packet.size
+        return True
+
+    def eject(self, packet: Packet, now: int) -> None:
+        """Sink an arriving packet and record its latency."""
+        packet.ejected_at = now + packet.size
+        self.stats.packets_ejected += 1
+        self.stats.flits_ejected += packet.size
+        self.stats.window_packets_ejected += 1
+        self.stats.window_flits_ejected += packet.size
+        latency = packet.ejected_at - packet.injected_at
+        self.stats.latency_sum += latency
+        self.stats.total_latency_sum += packet.ejected_at - packet.created_at
+        self.stats.window_latency_sum += latency
+        if self.eject_hook is not None:
+            self.eject_hook(packet, now)

@@ -1,0 +1,80 @@
+"""Packets.
+
+The simulator works at packet granularity with virtual cut-through flow
+control (exactly the abstraction the paper's own walk-through uses); a
+packet's flit count still matters for link serialization and energy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.turns import Port
+
+
+class Packet:
+    """One packet in flight.
+
+    ``route`` is the source route embedded at injection (Section II-D);
+    ``hop`` indexes the next output port to take.  A packet diverted into
+    the escape layer sets ``is_escape`` and thereafter ignores ``route``,
+    following the per-router escape tables instead.
+    """
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "vnet",
+        "size",
+        "route",
+        "hop",
+        "injected_at",
+        "ejected_at",
+        "is_escape",
+        "created_at",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        src: int,
+        dst: int,
+        vnet: int,
+        size: int,
+        route: Tuple[Port, ...],
+        created_at: int,
+    ) -> None:
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.vnet = vnet
+        self.size = size
+        self.route = route
+        self.hop = 0
+        self.injected_at: Optional[int] = None
+        self.ejected_at: Optional[int] = None
+        self.is_escape = False
+        self.created_at = created_at
+
+    def next_port(self) -> Port:
+        """Next output port per the embedded source route."""
+        return self.route[self.hop]
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.injected_at is None or self.ejected_at is None:
+            return None
+        return self.ejected_at - self.injected_at
+
+    @property
+    def queueing_latency(self) -> Optional[int]:
+        if self.injected_at is None:
+            return None
+        return self.injected_at - self.created_at
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(pid={self.pid}, {self.src}->{self.dst}, vnet={self.vnet},"
+            f" size={self.size}, hop={self.hop}, escape={self.is_escape})"
+        )

@@ -1,0 +1,245 @@
+"""Router microarchitecture: VCs, output links, and switch allocation.
+
+Model (Section "DESIGN.md §4"):
+
+* 5 ports (E/N/W/S/Local); ``vnets * vcs_per_vnet`` packet-deep VCs per
+  input port (virtual cut-through).
+* 1-cycle router + 1-cycle link: a packet granted the switch at cycle
+  ``t`` becomes switchable at the downstream router at ``t + 2``; its
+  tail occupies the upstream VC and the link for ``size`` cycles.
+* Separable round-robin switch allocation: one grant per input port and
+  per output port per cycle.
+* Scheme hooks: the ``is_deadlock`` / IO-priority injection restriction
+  (Static Bubble disables), the activated static-bubble VC, and escape
+  VCs are all modelled here so that every scheme shares one router.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.core.turns import Port
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+#: VC kinds.
+VC_NORMAL = 0
+VC_ESCAPE = 1
+VC_BUBBLE = 2
+
+
+class VirtualChannel:
+    """One packet-deep virtual channel at an input port."""
+
+    __slots__ = ("port", "index", "vnet", "kind", "packet", "ready_at", "free_at")
+
+    def __init__(self, port: int, index: int, vnet: int, kind: int = VC_NORMAL):
+        self.port = port
+        self.index = index
+        self.vnet = vnet
+        self.kind = kind
+        self.packet: Optional[Packet] = None
+        #: Cycle from which the resident packet may be switched onward.
+        self.ready_at = 0
+        #: Cycle from which an empty VC may be re-reserved (tail drain).
+        self.free_at = 0
+
+    def is_free(self, now: int) -> bool:
+        return self.packet is None and now >= self.free_at
+
+    def has_switchable_packet(self, now: int) -> bool:
+        return self.packet is not None and now >= self.ready_at
+
+    def __repr__(self) -> str:
+        kind = {VC_NORMAL: "N", VC_ESCAPE: "E", VC_BUBBLE: "B"}[self.kind]
+        return f"VC(p={Port(self.port).name},i={self.index},{kind},pkt={self.packet})"
+
+
+class OutputLink:
+    """The unidirectional channel behind one output port."""
+
+    __slots__ = ("dest_node", "busy_until", "special_blocked_at")
+
+    def __init__(self, dest_node: Optional[int]):
+        #: Downstream router id; ``None`` for the ejection (local) port.
+        self.dest_node = dest_node
+        self.busy_until = 0
+        #: Cycle in which a special message claimed this link (flits lose
+        #: switch arbitration for that cycle, paper footnote 10).
+        self.special_blocked_at = -1
+
+    def is_free(self, now: int) -> bool:
+        return now >= self.busy_until and self.special_blocked_at != now
+
+
+class Router:
+    """One mesh router."""
+
+    def __init__(self, node: int, vnets: int, vcs_per_vnet: int) -> None:
+        self.node = node
+        self.vnets = vnets
+        self.vcs_per_vnet = vcs_per_vnet
+        #: input_vcs[port] -> list of VirtualChannel (normal, then escape).
+        self.input_vcs: List[List[VirtualChannel]] = [[] for _ in range(5)]
+        for port in range(5):
+            for vnet in range(vnets):
+                for i in range(vcs_per_vnet):
+                    self.input_vcs[port].append(
+                        VirtualChannel(port, len(self.input_vcs[port]), vnet)
+                    )
+        #: output_links[port] -> OutputLink or None when no active link.
+        self.output_links: List[Optional[OutputLink]] = [None] * 5
+        #: Round-robin pointers for input-side and output-side arbiters.
+        self._in_rr = [0] * 5
+        self._out_rr = [0] * 5
+        #: Number of packets resident in this router (fast idle skip).
+        self.occupancy = 0
+
+        # -- deadlock-scheme state (Section IV) --
+        #: Injection restriction installed by a disable message.
+        self.is_deadlock = False
+        self.io_in_port: Optional[int] = None
+        self.io_out_port: Optional[int] = None
+        self.source_id: Optional[int] = None
+        #: Cycle at which the current IO restriction was installed.
+        self.io_set_at = 0
+        #: The static bubble VC (only on SB routers; None elsewhere).
+        self.bubble: Optional[VirtualChannel] = None
+        self.bubble_active = False
+
+    # -- construction helpers ---------------------------------------------
+
+    def add_escape_vcs(self, reserve_existing: bool = True) -> None:
+        """Provision one escape VC per vnet at every input port.
+
+        With ``reserve_existing`` (the paper's framing: "one VC per message
+        class per input port always needs to be kept reserved"), the last
+        normal VC of each vnet is converted into the escape VC, so normal
+        traffic sees one VC less.  Otherwise an extra VC is appended.
+        """
+        for port in range(5):
+            if reserve_existing:
+                converted = set()
+                for vc in reversed(self.input_vcs[port]):
+                    if vc.kind == VC_NORMAL and vc.vnet not in converted:
+                        vc.kind = VC_ESCAPE
+                        converted.add(vc.vnet)
+                if len(converted) != self.vnets:
+                    raise RuntimeError("not enough VCs to reserve escapes")
+            else:
+                for vnet in range(self.vnets):
+                    self.input_vcs[port].append(
+                        VirtualChannel(port, len(self.input_vcs[port]), vnet, VC_ESCAPE)
+                    )
+
+    def add_static_bubble(self) -> None:
+        """Attach the (initially off) static bubble buffer."""
+        self.bubble = VirtualChannel(-1, -1, 0, VC_BUBBLE)
+
+    def activate_bubble(self, in_port: int) -> None:
+        if self.bubble is None:
+            raise RuntimeError(f"router {self.node} has no static bubble")
+        self.bubble.port = in_port
+        self.bubble_active = True
+
+    def deactivate_bubble(self) -> None:
+        self.bubble_active = False
+
+    # -- queries ------------------------------------------------------------
+
+    def all_vcs(self):
+        for port_vcs in self.input_vcs:
+            for vc in port_vcs:
+                yield vc
+        if self.bubble is not None and (self.bubble_active or self.bubble.packet):
+            yield self.bubble
+
+    def occupied_vcs(self, now: int) -> List[VirtualChannel]:
+        return [vc for vc in self.all_vcs() if vc.has_switchable_packet(now)]
+
+    def port_vcs(self, port: int, include_bubble: bool = True):
+        """VCs logically attached to ``port``.
+
+        The static bubble counts while it is active or still holds a
+        packet (a resident must stay switchable even after the bubble is
+        administratively switched off).
+        """
+        yield from self.input_vcs[port]
+        if (
+            include_bubble
+            and self.bubble is not None
+            and (self.bubble_active or self.bubble.packet is not None)
+            and self.bubble.port == port
+        ):
+            yield self.bubble
+
+    def free_vc_for(self, port: int, packet: Packet, now: int) -> Optional[VirtualChannel]:
+        """A free VC at input port ``port`` usable by ``packet``.
+
+        Escape packets use escape VCs only; normal packets use normal VCs,
+        falling back to an *active* static bubble attached to this port.
+        """
+        wanted_kind = VC_ESCAPE if packet.is_escape else VC_NORMAL
+        for vc in self.input_vcs[port]:
+            if vc.kind == wanted_kind and vc.vnet == packet.vnet and vc.is_free(now):
+                return vc
+        if (
+            not packet.is_escape
+            and self.bubble is not None
+            and self.bubble_active
+            and self.bubble.port == port
+            and self.bubble.is_free(now)
+        ):
+            return self.bubble
+        return None
+
+    def injection_allowed(self, in_port: int, out_port: int) -> bool:
+        """Apply the IO-priority restriction installed by a disable.
+
+        When ``is_deadlock`` is set, only the chain's input port may send
+        into the chain's output port (no new packets enter the sealed
+        dependence cycle; local injection into it is also stopped).
+        """
+        if not self.is_deadlock:
+            return True
+        if out_port != self.io_out_port:
+            return True
+        return in_port == self.io_in_port
+
+    def set_io_restriction(
+        self, in_port: int, out_port: int, source: int, now: int = 0
+    ) -> None:
+        self.is_deadlock = True
+        self.io_in_port = in_port
+        self.io_out_port = out_port
+        self.source_id = source
+        self.io_set_at = now
+
+    def clear_io_restriction(self) -> None:
+        self.is_deadlock = False
+        self.io_in_port = None
+        self.io_out_port = None
+        self.source_id = None
+
+    def vc_wants_output(self, port: int, out_port: int, now: int) -> bool:
+        """Buffer Dependency Check unit: any VC at ``port`` wanting ``out_port``?"""
+        for vc in self.port_vcs(port):
+            if vc.has_switchable_packet(now):
+                pkt = vc.packet
+                if self._requested_output(pkt) == out_port:
+                    return True
+        return False
+
+    def _requested_output(self, packet: Packet) -> int:
+        """Output port the packet wants at this router (escape-aware)."""
+        if packet.is_escape and self._escape_lookup is not None:
+            return self._escape_lookup(self.node, packet.dst)
+        return packet.route[packet.hop]
+
+    #: Installed by the escape-VC scheme: (node, dst) -> output port.
+    _escape_lookup: Optional[Callable[[int, int], int]] = None
+
+    def __repr__(self) -> str:
+        return f"Router({self.node}, occ={self.occupancy}, dl={self.is_deadlock})"

@@ -1,0 +1,113 @@
+"""Statistics collection.
+
+Counts every event the experiments and the energy model need: packet
+latencies, per-class link utilization (flits vs. each special message
+type), buffer/crossbar activity for the DSENT-style energy model, and
+protocol counters (probes, recoveries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class NetworkStats:
+    """Mutable counters updated by the network as it simulates."""
+
+    cycles: int = 0
+    packets_created: int = 0
+    packets_injected: int = 0
+    packets_ejected: int = 0
+    packets_dropped_unreachable: int = 0
+    flits_injected: int = 0
+    flits_ejected: int = 0
+    #: Sum of network latencies (injection -> ejection) of ejected packets.
+    latency_sum: int = 0
+    #: Sum including source-queueing time.
+    total_latency_sum: int = 0
+    #: Per-hop events (for the energy model).
+    buffer_writes: int = 0
+    buffer_reads: int = 0
+    crossbar_flits: int = 0
+    #: Link-cycle occupancy per traffic class.
+    link_flit_cycles: int = 0
+    link_special_cycles: Dict[str, int] = field(
+        default_factory=lambda: {
+            "probe": 0,
+            "disable": 0,
+            "enable": 0,
+            "check_probe": 0,
+        }
+    )
+    #: Protocol counters.
+    probes_sent: int = 0
+    disables_sent: int = 0
+    enables_sent: int = 0
+    check_probes_sent: int = 0
+    bubble_activations: int = 0
+    recoveries_completed: int = 0
+    escape_diversions: int = 0
+    #: Ground-truth deadlock observations (DeadlockMonitor).
+    deadlocks_observed: int = 0
+    #: Measurement window bookkeeping.
+    window_start_cycle: int = 0
+    window_flits_ejected: int = 0
+    window_packets_ejected: int = 0
+    window_latency_sum: int = 0
+
+    def begin_window(self, cycle: int) -> None:
+        """Reset the measurement window (after warm-up)."""
+        self.window_start_cycle = cycle
+        self.window_flits_ejected = 0
+        self.window_packets_ejected = 0
+        self.window_latency_sum = 0
+
+    # -- derived metrics --------------------------------------------------
+
+    @property
+    def avg_latency(self) -> float:
+        """Mean network latency of all ejected packets (cycles)."""
+        if self.packets_ejected == 0:
+            return 0.0
+        return self.latency_sum / self.packets_ejected
+
+    @property
+    def avg_total_latency(self) -> float:
+        if self.packets_ejected == 0:
+            return 0.0
+        return self.total_latency_sum / self.packets_ejected
+
+    def window_avg_latency(self) -> float:
+        if self.window_packets_ejected == 0:
+            return 0.0
+        return self.window_latency_sum / self.window_packets_ejected
+
+    def window_throughput(self, now: int, num_nodes: int) -> float:
+        """Accepted throughput in flits/node/cycle over the window."""
+        span = now - self.window_start_cycle
+        if span <= 0 or num_nodes == 0:
+            return 0.0
+        return self.window_flits_ejected / (span * num_nodes)
+
+    def link_utilization_by_class(self) -> Dict[str, float]:
+        """Fraction of total used link-cycles per traffic class."""
+        total = self.link_flit_cycles + sum(self.link_special_cycles.values())
+        if total == 0:
+            return {"flit": 0.0, **{k: 0.0 for k in self.link_special_cycles}}
+        result = {"flit": self.link_flit_cycles / total}
+        for key, value in self.link_special_cycles.items():
+            result[key] = value / total
+        return result
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "packets_injected": self.packets_injected,
+            "packets_ejected": self.packets_ejected,
+            "avg_latency": self.avg_latency,
+            "probes_sent": self.probes_sent,
+            "recoveries_completed": self.recoveries_completed,
+            "deadlocks_observed": self.deadlocks_observed,
+        }

@@ -1,0 +1,34 @@
+"""Mesh-derived topologies, fault models, and graph analysis."""
+
+from repro.topology.mesh import Topology, mesh
+from repro.topology.faults import (
+    default_memory_controllers,
+    inject_link_faults,
+    inject_router_faults,
+    sample_topologies,
+)
+from repro.topology.graph import (
+    connected_components,
+    has_cycle,
+    is_connected,
+    largest_component,
+    nodes_reachable_from,
+    simple_cycles,
+    to_networkx,
+)
+
+__all__ = [
+    "Topology",
+    "mesh",
+    "default_memory_controllers",
+    "inject_link_faults",
+    "inject_router_faults",
+    "sample_topologies",
+    "connected_components",
+    "has_cycle",
+    "is_connected",
+    "largest_component",
+    "nodes_reachable_from",
+    "simple_cycles",
+    "to_networkx",
+]

@@ -1,0 +1,98 @@
+"""Random fault / power-gating injection (Section V-A fault model).
+
+Two models, matching the paper: random *link* removal and random
+*router* removal from an underlying mesh.  "Fault" and "power-gated"
+are interchangeable here — both remove the component from the topology
+graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.topology.mesh import Topology, mesh
+from repro.topology import graph as tgraph
+
+
+def inject_link_faults(
+    topo: Topology, count: int, rng: random.Random
+) -> Topology:
+    """Return a copy of ``topo`` with ``count`` random links deactivated."""
+    result = topo.copy()
+    candidates = [link for link in result.all_links()
+                  if result.link_is_active(*tuple(link))]
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot fail {count} links; only {len(candidates)} active"
+        )
+    for link in rng.sample(candidates, count):
+        u, v = tuple(link)
+        result.deactivate_link(u, v)
+    return result
+
+
+def inject_router_faults(
+    topo: Topology, count: int, rng: random.Random
+) -> Topology:
+    """Return a copy of ``topo`` with ``count`` random routers deactivated."""
+    result = topo.copy()
+    candidates = result.active_nodes()
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot fail {count} routers; only {len(candidates)} active"
+        )
+    for node in rng.sample(candidates, count):
+        result.deactivate_node(node)
+    return result
+
+
+def sample_topologies(
+    width: int,
+    height: int,
+    fault_kind: str,
+    fault_count: int,
+    n_samples: int,
+    seed: int,
+    require_memory_controllers: Optional[List[int]] = None,
+) -> Iterator[Topology]:
+    """Yield ``n_samples`` random irregular topologies.
+
+    ``fault_kind`` is ``"link"`` or ``"router"``.  When
+    ``require_memory_controllers`` is given (a list of node ids), only
+    topologies whose largest component contains *all* those nodes are
+    yielded (the paper only considers topologies that do not disconnect
+    the memory controllers for application runs); sampling retries until
+    enough qualifying topologies are found (bounded retries).
+    """
+    if fault_kind not in ("link", "router"):
+        raise ValueError("fault_kind must be 'link' or 'router'")
+    base = mesh(width, height)
+    produced = 0
+    attempt = 0
+    max_attempts = max(50, n_samples * 50)
+    while produced < n_samples and attempt < max_attempts:
+        rng = random.Random((seed * 1_000_003 + attempt) & 0xFFFFFFFF)
+        attempt += 1
+        if fault_kind == "link":
+            topo = inject_link_faults(base, fault_count, rng)
+        else:
+            topo = inject_router_faults(base, fault_count, rng)
+        if require_memory_controllers is not None:
+            component = tgraph.largest_component(topo)
+            if not all(mc in component for mc in require_memory_controllers):
+                continue
+        produced += 1
+        yield topo
+    if produced < n_samples:
+        raise RuntimeError(
+            f"could not sample {n_samples} qualifying topologies "
+            f"({fault_kind} faults={fault_count}) after {max_attempts} tries"
+        )
+
+
+def default_memory_controllers(width: int, height: int) -> List[int]:
+    """Corner-node memory controllers (the usual 4-MC 8x8 configuration)."""
+    corners = [(0, 0), (width - 1, 0), (0, height - 1), (width - 1, height - 1)]
+    topo = mesh(width, height)
+    return [topo.node_id(x, y) for x, y in corners]

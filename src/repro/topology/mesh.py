@@ -1,0 +1,164 @@
+"""Mesh-derived topologies, regular and irregular.
+
+A :class:`Topology` always starts from an underlying ``width x height``
+mesh (the design-time substrate of the paper) from which routers and
+links can be deactivated — modelling design-time heterogeneity, faults,
+or power-gating.  Node ids are ``y * width + x``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.core.turns import DELTA, DIRECTIONS, Port
+
+Coord = Tuple[int, int]
+Link = FrozenSet[int]
+
+
+class Topology:
+    """A (possibly irregular) topology derived from an n x m mesh.
+
+    Links are bidirectional: deactivating a link removes both channel
+    directions (the dominant fault model in the paper's evaluation;
+    unidirectional failures a la uDIREC can be modelled by composing two
+    topologies but are not needed to reproduce the results).
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        self.width = width
+        self.height = height
+        self._node_active: List[bool] = [True] * (width * height)
+        self._link_active: Dict[Link, bool] = {}
+        for node in self.all_nodes():
+            x, y = self.coords(node)
+            for direction in (Port.EAST, Port.NORTH):
+                dx, dy = DELTA[direction]
+                nx_, ny_ = x + dx, y + dy
+                if 0 <= nx_ < width and 0 <= ny_ < height:
+                    self._link_active[frozenset((node, self.node_id(nx_, ny_)))] = True
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def node_id(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x},{y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def coords(self, node: int) -> Coord:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} outside mesh")
+        return node % self.width, node // self.width
+
+    def all_nodes(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def all_links(self) -> Iterator[Link]:
+        return iter(self._link_active)
+
+    # -- activation state -----------------------------------------------
+
+    def node_is_active(self, node: int) -> bool:
+        return self._node_active[node]
+
+    def link_is_active(self, u: int, v: int) -> bool:
+        """True iff the u-v link and both endpoints are active."""
+        link = frozenset((u, v))
+        if link not in self._link_active:
+            return False
+        return (
+            self._link_active[link]
+            and self._node_active[u]
+            and self._node_active[v]
+        )
+
+    def deactivate_node(self, node: int) -> None:
+        self._node_active[node] = False
+
+    def activate_node(self, node: int) -> None:
+        self._node_active[node] = True
+
+    def deactivate_link(self, u: int, v: int) -> None:
+        link = frozenset((u, v))
+        if link not in self._link_active:
+            raise ValueError(f"no mesh link between {u} and {v}")
+        self._link_active[link] = False
+
+    def activate_link(self, u: int, v: int) -> None:
+        link = frozenset((u, v))
+        if link not in self._link_active:
+            raise ValueError(f"no mesh link between {u} and {v}")
+        self._link_active[link] = True
+
+    def active_nodes(self) -> List[int]:
+        return [n for n in self.all_nodes() if self._node_active[n]]
+
+    def active_links(self) -> List[Link]:
+        return [
+            link
+            for link, on in self._link_active.items()
+            if on and all(self._node_active[n] for n in link)
+        ]
+
+    def num_faulty_links(self) -> int:
+        """Links explicitly deactivated (not counting router-induced loss)."""
+        return sum(1 for on in self._link_active.values() if not on)
+
+    def num_faulty_nodes(self) -> int:
+        return sum(1 for on in self._node_active if not on)
+
+    # -- adjacency -------------------------------------------------------
+
+    def neighbor(self, node: int, direction: Port) -> Optional[int]:
+        """Neighbor id in ``direction`` on the *underlying mesh* (or None)."""
+        x, y = self.coords(node)
+        dx, dy = DELTA[direction]
+        nx_, ny_ = x + dx, y + dy
+        if 0 <= nx_ < self.width and 0 <= ny_ < self.height:
+            return self.node_id(nx_, ny_)
+        return None
+
+    def active_neighbors(self, node: int) -> List[Tuple[Port, int]]:
+        """Active (direction, neighbor) pairs reachable over active links."""
+        if not self._node_active[node]:
+            return []
+        result = []
+        for direction in DIRECTIONS:
+            other = self.neighbor(node, direction)
+            if other is not None and self.link_is_active(node, other):
+                result.append((direction, other))
+        return result
+
+    def port_between(self, u: int, v: int) -> Port:
+        """Output port at ``u`` that leads to adjacent node ``v``."""
+        ux, uy = self.coords(u)
+        vx, vy = self.coords(v)
+        delta = (vx - ux, vy - uy)
+        for direction, d in DELTA.items():
+            if d == delta:
+                return direction
+        raise ValueError(f"nodes {u} and {v} are not mesh-adjacent")
+
+    def copy(self) -> "Topology":
+        clone = Topology(self.width, self.height)
+        clone._node_active = list(self._node_active)
+        clone._link_active = dict(self._link_active)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.width}x{self.height}, "
+            f"faulty_nodes={self.num_faulty_nodes()}, "
+            f"faulty_links={self.num_faulty_links()})"
+        )
+
+
+def mesh(width: int, height: int) -> Topology:
+    """A fully healthy ``width x height`` mesh."""
+    return Topology(width, height)

@@ -1,0 +1,40 @@
+"""Traffic: synthetic patterns, traces, and application workload models."""
+
+from repro.traffic.base import CompositeTraffic, PacketSpec, TrafficGenerator
+from repro.traffic.synthetic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    SyntheticTraffic,
+    TransposeTraffic,
+    UniformRandomTraffic,
+    make_pattern,
+)
+from repro.traffic.trace import TraceEvent, TraceTraffic
+from repro.traffic.workloads import (
+    PARSEC_SPECS,
+    RODINIA_SPECS,
+    WorkloadSpec,
+    build_workload_trace,
+    parsec_trace,
+    rodinia_trace,
+)
+
+__all__ = [
+    "CompositeTraffic",
+    "PacketSpec",
+    "TrafficGenerator",
+    "BitComplementTraffic",
+    "HotspotTraffic",
+    "SyntheticTraffic",
+    "TransposeTraffic",
+    "UniformRandomTraffic",
+    "make_pattern",
+    "TraceEvent",
+    "TraceTraffic",
+    "PARSEC_SPECS",
+    "RODINIA_SPECS",
+    "WorkloadSpec",
+    "build_workload_trace",
+    "parsec_trace",
+    "rodinia_trace",
+]

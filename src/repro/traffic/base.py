@@ -1,0 +1,38 @@
+"""Traffic generator interface.
+
+A traffic source is asked once per cycle for the packets created at that
+cycle: ``packets_at(now) -> iterable of (src, dst, vnet, size_flits)``.
+Finite sources (traces) also implement ``exhausted(now)`` so run-to-drain
+experiments know when the workload is done.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+PacketSpec = Tuple[int, int, int, int]  # (src, dst, vnet, size_flits)
+
+
+class TrafficGenerator:
+    """Base class: an infinite, silent source."""
+
+    def packets_at(self, now: int) -> Iterable[PacketSpec]:
+        return ()
+
+    def exhausted(self, now: int) -> bool:
+        """True when a finite source has emitted everything it will."""
+        return False
+
+
+class CompositeTraffic(TrafficGenerator):
+    """Union of several sources (e.g. app traffic + background)."""
+
+    def __init__(self, sources: List[TrafficGenerator]) -> None:
+        self.sources = list(sources)
+
+    def packets_at(self, now: int) -> Iterable[PacketSpec]:
+        for source in self.sources:
+            yield from source.packets_at(now)
+
+    def exhausted(self, now: int) -> bool:
+        return all(source.exhausted(now) for source in self.sources)

@@ -1,0 +1,154 @@
+"""Synthetic traffic patterns (Table II: uniform random, bit-complement).
+
+Injection ``rate`` is expressed in flits/node/cycle, the unit used
+throughout the paper's figures.  Packets are a mix of 1-flit control and
+5-flit data packets (Table II); a Bernoulli draw per node per cycle
+converts the flit rate into packet injections with the right expectation.
+
+Destinations falling outside the source's connected component are still
+generated — the NI drops them, matching the paper ("if the destination
+is not reachable, the packet is simply dropped").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.traffic.base import PacketSpec, TrafficGenerator
+from repro.topology.mesh import Topology
+from repro.utils.rng import spawn_rng
+
+
+class SyntheticTraffic(TrafficGenerator):
+    """Bernoulli per-node injection with a pattern-defined destination."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        rate: float,
+        seed: int = 1,
+        vnets: int = 1,
+        data_flits: int = 5,
+        ctrl_flits: int = 1,
+        data_fraction: float = 0.5,
+        sources: Optional[Sequence[int]] = None,
+    ) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        if not 0 <= data_fraction <= 1:
+            raise ValueError("data_fraction must be in [0, 1]")
+        self.topo = topo
+        self.rate = rate
+        self.vnets = vnets
+        self.data_flits = data_flits
+        self.ctrl_flits = ctrl_flits
+        self.data_fraction = data_fraction
+        self.rng = spawn_rng(seed, "traffic", type(self).__name__)
+        self.nodes: List[int] = list(sources) if sources is not None else topo.active_nodes()
+        #: Expected flits per packet under the configured mix.
+        self.mean_flits = (
+            data_fraction * data_flits + (1 - data_fraction) * ctrl_flits
+        )
+        #: Per-node per-cycle packet-injection probability.
+        self.packet_prob = min(1.0, rate / self.mean_flits) if rate else 0.0
+
+    def destination(self, src: int) -> Optional[int]:
+        raise NotImplementedError
+
+    def _size(self) -> int:
+        if self.rng.random() < self.data_fraction:
+            return self.data_flits
+        return self.ctrl_flits
+
+    def packets_at(self, now: int) -> Iterable[PacketSpec]:
+        rng = self.rng
+        prob = self.packet_prob
+        if prob == 0.0:
+            return
+        for src in self.nodes:
+            if rng.random() < prob:
+                dst = self.destination(src)
+                if dst is None or dst == src:
+                    continue
+                vnet = rng.randrange(self.vnets) if self.vnets > 1 else 0
+                yield (src, dst, vnet, self._size())
+
+
+class UniformRandomTraffic(SyntheticTraffic):
+    """Each packet targets a uniformly random other node."""
+
+    def destination(self, src: int) -> Optional[int]:
+        if len(self.nodes) < 2:
+            return None
+        while True:
+            dst = self.nodes[self.rng.randrange(len(self.nodes))]
+            if dst != src:
+                return dst
+
+
+class BitComplementTraffic(SyntheticTraffic):
+    """Node (x, y) sends to (W-1-x, H-1-y)."""
+
+    def destination(self, src: int) -> Optional[int]:
+        x, y = self.topo.coords(src)
+        return self.topo.node_id(self.topo.width - 1 - x, self.topo.height - 1 - y)
+
+
+class TransposeTraffic(SyntheticTraffic):
+    """Node (x, y) sends to (y, x); needs a square mesh."""
+
+    def destination(self, src: int) -> Optional[int]:
+        if self.topo.width != self.topo.height:
+            raise ValueError("transpose requires a square mesh")
+        x, y = self.topo.coords(src)
+        if x == y:
+            return None
+        return self.topo.node_id(y, x)
+
+
+class HotspotTraffic(SyntheticTraffic):
+    """A fraction of packets target a small hot set; rest uniform random."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        rate: float,
+        hotspots: Sequence[int],
+        hot_fraction: float = 0.5,
+        **kwargs,
+    ) -> None:
+        super().__init__(topo, rate, **kwargs)
+        if not hotspots:
+            raise ValueError("need at least one hotspot node")
+        self.hotspots = list(hotspots)
+        self.hot_fraction = hot_fraction
+
+    def destination(self, src: int) -> Optional[int]:
+        if self.rng.random() < self.hot_fraction:
+            choices = [h for h in self.hotspots if h != src]
+            if choices:
+                return choices[self.rng.randrange(len(choices))]
+        if len(self.nodes) < 2:
+            return None
+        while True:
+            dst = self.nodes[self.rng.randrange(len(self.nodes))]
+            if dst != src:
+                return dst
+
+
+PATTERNS = {
+    "uniform_random": UniformRandomTraffic,
+    "bit_complement": BitComplementTraffic,
+    "transpose": TransposeTraffic,
+}
+
+
+def make_pattern(
+    name: str, topo: Topology, rate: float, seed: int = 1, **kwargs
+) -> SyntheticTraffic:
+    """Factory over the named synthetic patterns."""
+    try:
+        cls = PATTERNS[name]
+    except KeyError:
+        raise ValueError(f"unknown pattern {name!r}; have {sorted(PATTERNS)}")
+    return cls(topo, rate, seed=seed, **kwargs)

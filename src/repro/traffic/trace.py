@@ -1,0 +1,46 @@
+"""Trace-driven traffic: replay a finite list of timed packet injections.
+
+Used by the application workload models (PARSEC / Rodinia substitutes):
+a workload is a fixed amount of communication work; "application
+runtime" is the cycle at which the network drains the whole trace, and
+"application throughput" is work over runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.traffic.base import PacketSpec, TrafficGenerator
+
+TraceEvent = Tuple[int, int, int, int, int]  # (cycle, src, dst, vnet, size)
+
+
+class TraceTraffic(TrafficGenerator):
+    """Replays ``(cycle, src, dst, vnet, size)`` events in cycle order."""
+
+    def __init__(self, events: Sequence[TraceEvent]) -> None:
+        self.events: List[TraceEvent] = sorted(events, key=lambda e: e[0])
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def total_flits(self) -> int:
+        return sum(e[4] for e in self.events)
+
+    def last_cycle(self) -> int:
+        return self.events[-1][0] if self.events else 0
+
+    def packets_at(self, now: int) -> Iterable[PacketSpec]:
+        while self._cursor < len(self.events) and self.events[self._cursor][0] <= now:
+            _, src, dst, vnet, size = self.events[self._cursor]
+            self._cursor += 1
+            yield (src, dst, vnet, size)
+
+    def exhausted(self, now: int) -> bool:
+        return self._cursor >= len(self.events)
+
+    def reset(self) -> "TraceTraffic":
+        """Rewind (traces are replayed across schemes for fair comparison)."""
+        self._cursor = 0
+        return self

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG helpers and plain-text reporting."""
+
+from repro.utils.rng import spawn_rng, derive_seed
+from repro.utils.reporting import format_table, format_series, Reporter
+
+__all__ = ["spawn_rng", "derive_seed", "format_table", "format_series", "Reporter"]

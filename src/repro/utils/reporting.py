@@ -1,0 +1,76 @@
+"""Plain-text reporting helpers used by experiments and benchmarks.
+
+The paper reports its evaluation as figures; since this reproduction is
+headless, each experiment prints the same data as aligned text tables or
+``x: y`` series that can be diffed, plotted, or pasted into a notebook.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _fmt_cell(value: object, ndigits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    ndigits: int = 3,
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows = [[_fmt_cell(cell, ndigits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[object, object], ndigits: int = 3, title: str = ""
+) -> str:
+    """Render a mapping as ``key: value`` lines (one series of a figure)."""
+    lines = [title] if title else []
+    for key, value in series.items():
+        lines.append(f"{_fmt_cell(key, ndigits)}: {_fmt_cell(value, ndigits)}")
+    return "\n".join(lines)
+
+
+class Reporter:
+    """Collects experiment output so it can be both printed and asserted on.
+
+    Experiments call :meth:`table` / :meth:`line`; the benchmark harness
+    prints :meth:`text` and tests inspect the structured payloads.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._chunks: list[str] = []
+
+    def line(self, text: str) -> None:
+        self._chunks.append(text)
+
+    def table(
+        self,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        ndigits: int = 3,
+        title: str = "",
+    ) -> None:
+        self._chunks.append(format_table(headers, rows, ndigits=ndigits, title=title))
+
+    def text(self) -> str:
+        header = f"== {self.name} =="
+        return "\n".join([header] + self._chunks)

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestPlacement:
+    def test_placement_output(self, capsys):
+        assert main(["placement", "8", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "21 static bubbles" in out
+        assert out.count("B") == 21
+
+    def test_small_mesh(self, capsys):
+        assert main(["placement", "2", "2"]) == 0
+        assert "1 static bubbles" in capsys.readouterr().out
+
+
+class TestSchemes:
+    def test_lists_all(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "minimal-unprotected",
+            "xy",
+            "spanning-tree",
+            "escape-vc",
+            "static-bubble",
+        ):
+            assert name in out
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--width", "4", "--height", "4",
+                "--rate", "0.05",
+                "--warmup", "100", "--cycles", "300",
+                "--scheme", "static-bubble",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg latency" in out
+        assert "recoveries completed" in out
+
+    def test_with_faults_and_monitor(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--width", "4", "--height", "4",
+                "--link-faults", "2",
+                "--rate", "0.05",
+                "--warmup", "100", "--cycles", "300",
+                "--scheme", "spanning-tree",
+                "--monitor",
+            ]
+        )
+        assert code == 0
+        assert "deadlocks observed" in capsys.readouterr().out
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--scheme", "nope"])
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "21" in out and "320" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

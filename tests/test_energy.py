@@ -1,0 +1,133 @@
+"""Tests for the DSENT-substitute energy/area model."""
+
+import pytest
+
+from repro.energy.edp import network_edp
+from repro.energy.model import EnergyModel, EnergyParams
+from repro.protocols.escape_vc import EscapeVcRecovery
+from repro.protocols.none import MinimalUnprotected
+from repro.protocols.static_bubble import StaticBubbleScheme
+from repro.protocols.spanning_tree import SpanningTreeAvoidance
+from repro.sim.config import SimConfig
+from repro.sim.network import Network
+from repro.topology.mesh import mesh
+from repro.traffic.synthetic import UniformRandomTraffic
+
+
+def run_net(scheme, rate=0.05, cycles=500, seed=1):
+    topo = mesh(4, 4)
+    config = SimConfig(width=4, height=4)
+    traffic = UniformRandomTraffic(topo, rate=rate, seed=seed)
+    net = Network(topo, config, scheme, traffic, seed=seed)
+    net.run(cycles)
+    return net
+
+
+class TestEnergyAccounting:
+    def test_idle_network_has_only_leakage(self):
+        topo = mesh(4, 4)
+        config = SimConfig(width=4, height=4)
+        net = Network(topo, config, MinimalUnprotected(), None, seed=1)
+        net.run(100)
+        e = EnergyModel().network_energy(net)
+        assert e.router_dynamic == 0
+        assert e.link_dynamic == 0
+        assert e.router_leakage > 0
+        assert e.link_leakage > 0
+
+    def test_dynamic_energy_scales_with_load(self):
+        model = EnergyModel()
+        low = model.network_energy(run_net(MinimalUnprotected(), rate=0.02))
+        high = model.network_energy(run_net(MinimalUnprotected(), rate=0.1))
+        assert high.router_dynamic > low.router_dynamic
+        assert high.link_dynamic > low.link_dynamic
+
+    def test_leakage_scales_with_cycles(self):
+        model = EnergyModel()
+        short = model.network_energy(run_net(MinimalUnprotected(), cycles=200))
+        long = model.network_energy(run_net(MinimalUnprotected(), cycles=800))
+        assert long.router_leakage == pytest.approx(4 * short.router_leakage)
+
+    def test_power_gated_routers_do_not_leak(self):
+        topo_full = mesh(4, 4)
+        topo_gated = mesh(4, 4)
+        for node in (5, 6, 9):
+            topo_gated.deactivate_node(node)
+        config = SimConfig(width=4, height=4)
+        model = EnergyModel()
+        net_full = Network(topo_full, config, MinimalUnprotected(), None, seed=1)
+        net_gated = Network(topo_gated, config, MinimalUnprotected(), None, seed=1)
+        net_full.run(100)
+        net_gated.run(100)
+        full = model.network_energy(net_full)
+        gated = model.network_energy(net_gated)
+        assert gated.router_leakage < full.router_leakage
+        assert gated.link_leakage < full.link_leakage
+
+    def test_breakdown_total(self):
+        model = EnergyModel()
+        e = model.network_energy(run_net(MinimalUnprotected()))
+        assert e.total == pytest.approx(
+            e.router_dynamic + e.router_leakage + e.link_dynamic + e.link_leakage
+        )
+
+
+class TestSchemeCosts:
+    def test_escape_vc_leaks_more_than_static_bubble(self):
+        """Table I in action: eVC adds buffers everywhere, SB at 21 nodes."""
+        topo = mesh(8, 8)
+        config = SimConfig()
+        model = EnergyModel()
+        nets = {}
+        for name, scheme in (
+            ("evc", EscapeVcRecovery(reserve_existing=False)),
+            ("sb", StaticBubbleScheme()),
+            ("tree", SpanningTreeAvoidance()),
+        ):
+            net = Network(topo, config, scheme, None, seed=1)
+            net.run(200)
+            nets[name] = model.network_energy(net)
+        assert nets["evc"].router_leakage > nets["sb"].router_leakage
+        assert nets["sb"].router_leakage > nets["tree"].router_leakage
+
+    def test_table1_area_numbers(self):
+        """Escape VC ~18% router area; Static Bubble < 0.5% network-wide,
+        at the paper's 3-vnet, 4-VC router."""
+        config = SimConfig(vnets=3, vcs_per_vnet=4)
+        model = EnergyModel()
+
+        class EvcArea:
+            def extra_vcs_per_router(self, node, cfg):
+                return 5 * cfg.vnets
+
+        evc = model.area_overhead(config, EvcArea(), 64)
+        sb = model.area_overhead(config, StaticBubbleScheme(), 64)
+        assert evc == pytest.approx(0.18, abs=0.02)
+        assert sb < 0.005
+
+    def test_per_router_area_monotone_in_buffers(self):
+        model = EnergyModel()
+        config = SimConfig()
+        assert model.router_area(config, extra_vcs=1) > model.router_area(config)
+
+
+class TestEdp:
+    def test_edp_formula(self):
+        net = run_net(MinimalUnprotected())
+        model = EnergyModel()
+        energy = model.network_energy(net).total
+        assert network_edp(net, 1000, model) == pytest.approx(energy * 1000)
+
+    def test_default_model(self):
+        net = run_net(MinimalUnprotected())
+        assert network_edp(net, 10) > 0
+
+
+class TestParams:
+    def test_custom_params(self):
+        params = EnergyParams(e_link=100.0)
+        model = EnergyModel(params)
+        net = run_net(MinimalUnprotected(), rate=0.1)
+        heavy = model.network_energy(net)
+        light = EnergyModel().network_energy(net)
+        assert heavy.link_dynamic > light.link_dynamic

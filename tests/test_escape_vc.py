@@ -1,0 +1,109 @@
+"""Tests for the escape-VC recovery baseline."""
+
+import random
+
+import pytest
+
+from repro.core.turns import Port
+from repro.protocols.escape_vc import EscapeVcRecovery
+from repro.protocols.none import MinimalUnprotected
+from repro.sim.config import SimConfig
+from repro.sim.deadlock import find_wait_cycle
+from repro.sim.engine import deadlocks_within, run_to_drain
+from repro.sim.network import Network
+from repro.sim.router import VC_ESCAPE
+from repro.topology.faults import inject_link_faults
+from repro.topology.mesh import mesh
+from repro.traffic.synthetic import UniformRandomTraffic
+
+from tests.conftest import place_packet
+
+
+class TestSetup:
+    def test_escape_vcs_reserved(self):
+        topo = mesh(4, 4)
+        config = SimConfig(width=4, height=4, vcs_per_vnet=4)
+        net = Network(topo, config, EscapeVcRecovery(), None, seed=1)
+        for router in net.active_routers():
+            for port in range(5):
+                kinds = [vc.kind for vc in router.input_vcs[port]]
+                assert kinds.count(VC_ESCAPE) == 1
+
+    def test_needs_two_vcs(self):
+        topo = mesh(4, 4)
+        config = SimConfig(width=4, height=4, vcs_per_vnet=1)
+        with pytest.raises(ValueError):
+            Network(topo, config, EscapeVcRecovery(), None, seed=1)
+
+    def test_append_mode_adds_vcs(self):
+        topo = mesh(4, 4)
+        config = SimConfig(width=4, height=4, vcs_per_vnet=1)
+        net = Network(
+            topo, config, EscapeVcRecovery(reserve_existing=False), None, seed=1
+        )
+        router = net.active_routers()[0]
+        assert len(router.input_vcs[0]) == 2
+
+    def test_escape_tables_cover_components(self):
+        topo = inject_link_faults(mesh(4, 4), 3, random.Random(1))
+        config = SimConfig(width=4, height=4)
+        scheme = EscapeVcRecovery()
+        Network(topo, config, scheme, None, seed=1)
+        from repro.topology.graph import connected_components
+
+        for component in connected_components(topo):
+            for node in component:
+                for dst in component:
+                    assert dst in scheme.escape_tables[node]
+
+
+class TestDiversion:
+    def test_deadlocked_ring_diverts_and_drains(self):
+        """A ring deadlock in the normal VCs escapes via the tree layer."""
+        topo = mesh(2, 2)
+        config = SimConfig(width=2, height=2, vcs_per_vnet=2, escape_t_detect=10)
+        scheme = EscapeVcRecovery()
+        net = Network(topo, config, scheme, None, seed=1)
+        E, N, W, S, L = Port.EAST, Port.NORTH, Port.WEST, Port.SOUTH, Port.LOCAL
+        # vcs_per_vnet=2 with reservation leaves exactly 1 normal VC per
+        # port: the classic 4-packet ring deadlocks the normal layer.
+        place_packet(net, 1, W, 100, 0, 3, (E, N, L), vc_index=0)
+        place_packet(net, 3, S, 101, 1, 2, (N, W, L), vc_index=0)
+        place_packet(net, 2, E, 102, 3, 0, (W, S, L), vc_index=0)
+        place_packet(net, 0, N, 103, 2, 1, (S, E, L), vc_index=0)
+        assert find_wait_cycle(net, 0) is not None
+        net.run(300)
+        assert net.stats.escape_diversions >= 1
+        assert net.stats.packets_ejected == 4
+
+    def test_escape_packets_reach_destination(self):
+        """Diverted packets still arrive (via the tree)."""
+        topo = inject_link_faults(mesh(4, 4), 4, random.Random(9))
+        config = SimConfig(width=4, height=4, escape_t_detect=8)
+        traffic = UniformRandomTraffic(topo, rate=0.25, seed=9)
+        net = Network(topo, config, EscapeVcRecovery(), traffic, seed=9)
+        net.run(1200)
+        net.traffic = None
+        assert run_to_drain(net, 5000) is not None
+        assert net.stats.packets_ejected == net.stats.packets_injected
+        assert net.stats.escape_diversions > 0
+
+
+class TestDeadlockFreedom:
+    @pytest.mark.parametrize("seed", [3, 7])
+    def test_sustained_progress_under_stress(self, seed):
+        topo = inject_link_faults(mesh(6, 6), 6, random.Random(seed))
+        config = SimConfig(width=6, height=6, vcs_per_vnet=2)
+        traffic = UniformRandomTraffic(topo, rate=0.4, seed=seed)
+        net = Network(topo, config, EscapeVcRecovery(), traffic, seed=seed)
+        marks = []
+        for _ in range(6):
+            net.run(400)
+            marks.append(net.stats.packets_ejected)
+        assert marks[-1] > marks[0] + 100
+        assert marks[-1] > marks[-2]
+
+    def test_extra_buffer_accounting(self):
+        config = SimConfig()
+        scheme = EscapeVcRecovery()
+        assert scheme.extra_vcs_per_router(0, config) == 5 * config.vnets

@@ -1,0 +1,201 @@
+"""Unit tests for the 6-state counter FSM (Fig. 5)."""
+
+import pytest
+
+from repro.core.fsm import CounterFsm, FsmAction, FsmState, recovery_threshold
+from repro.core.turns import Port, Turn
+
+
+def make_fsm(t_dd=5, **kwargs):
+    return CounterFsm(node=9, t_dd=t_dd, **kwargs)
+
+
+def tick_until_action(fsm, limit=1000):
+    for _ in range(limit):
+        action = fsm.tick()
+        if action != FsmAction.NONE:
+            return action
+    raise AssertionError("no action within limit")
+
+
+class TestDetection:
+    def test_starts_off(self):
+        fsm = make_fsm()
+        assert fsm.state == FsmState.S_OFF
+        assert fsm.tick() == FsmAction.NONE
+
+    def test_first_flit_starts_counting(self):
+        fsm = make_fsm()
+        fsm.on_first_flit()
+        assert fsm.state == FsmState.S_DD
+        assert fsm.threshold == 5
+
+    def test_timeout_sends_probe(self):
+        fsm = make_fsm(t_dd=3)
+        fsm.on_first_flit()
+        assert tick_until_action(fsm) == FsmAction.SEND_PROBE
+        assert fsm.state == FsmState.S_DD
+        assert fsm.probes_sent == 1
+
+    def test_probe_resent_on_repeat_timeout(self):
+        fsm = make_fsm(t_dd=3)
+        fsm.on_first_flit()
+        tick_until_action(fsm)
+        assert tick_until_action(fsm) == FsmAction.SEND_PROBE
+        assert fsm.probes_sent == 2
+
+    def test_progress_resets_counter(self):
+        fsm = make_fsm(t_dd=5)
+        fsm.on_first_flit()
+        fsm.tick()
+        fsm.tick()
+        fsm.on_watched_vc_progress(True)
+        assert fsm.count == 0
+        assert fsm.state == FsmState.S_DD
+
+    def test_idle_switches_off(self):
+        fsm = make_fsm()
+        fsm.on_first_flit()
+        fsm.on_watched_vc_progress(False)
+        assert fsm.state == FsmState.S_OFF
+
+
+class TestRecoverySequence:
+    def _to_disable(self, fsm):
+        fsm.on_first_flit()
+        tick_until_action(fsm)  # SEND_PROBE
+        action = fsm.on_probe_returned(
+            (Turn.LEFT, Turn.LEFT, Turn.LEFT), Port.SOUTH, Port.NORTH
+        )
+        assert action == FsmAction.SEND_DISABLE
+        return fsm
+
+    def test_probe_return_latches_path(self):
+        fsm = self._to_disable(make_fsm())
+        assert fsm.state == FsmState.S_DISABLE
+        assert fsm.turn_buffer == (Turn.LEFT, Turn.LEFT, Turn.LEFT)
+        assert fsm.probe_in_port == Port.SOUTH
+        assert fsm.probe_out_port == Port.NORTH
+        assert fsm.threshold == recovery_threshold(3)
+
+    def test_probe_return_ignored_outside_sdd(self):
+        fsm = self._to_disable(make_fsm())
+        assert fsm.on_probe_returned((), Port.SOUTH, Port.NORTH) == FsmAction.NONE
+
+    def test_disable_return_activates_bubble(self):
+        fsm = self._to_disable(make_fsm())
+        assert fsm.on_disable_returned() == FsmAction.ACTIVATE_BUBBLE
+        assert fsm.state == FsmState.S_SB_ACTIVE
+        assert fsm.tick() == FsmAction.NONE  # counter off
+
+    def test_reclaim_sends_check_probe(self):
+        fsm = self._to_disable(make_fsm())
+        fsm.on_disable_returned()
+        assert fsm.on_bubble_reclaimed() == FsmAction.SEND_CHECK_PROBE
+        assert fsm.state == FsmState.S_CHECK_PROBE
+
+    def test_check_probe_return_reactivates(self):
+        fsm = self._to_disable(make_fsm())
+        fsm.on_disable_returned()
+        fsm.on_bubble_reclaimed()
+        assert fsm.on_check_probe_returned() == FsmAction.ACTIVATE_BUBBLE
+        assert fsm.state == FsmState.S_SB_ACTIVE
+
+    def test_check_probe_timeout_sends_enable(self):
+        fsm = self._to_disable(make_fsm())
+        fsm.on_disable_returned()
+        fsm.on_bubble_reclaimed()
+        assert tick_until_action(fsm) == FsmAction.SEND_ENABLE
+        assert fsm.state == FsmState.S_ENABLE
+
+    def test_enable_return_completes_recovery(self):
+        fsm = self._to_disable(make_fsm())
+        fsm.on_disable_returned()
+        fsm.on_bubble_reclaimed()
+        tick_until_action(fsm)  # -> S_ENABLE
+        assert fsm.on_enable_returned(True) == FsmAction.RECOVERY_DONE
+        assert fsm.state == FsmState.S_DD
+        assert fsm.turn_buffer == ()
+        assert fsm.recoveries_completed == 1
+
+    def test_enable_return_to_off_when_idle(self):
+        fsm = self._to_disable(make_fsm())
+        fsm.on_disable_returned()
+        fsm.on_bubble_reclaimed()
+        tick_until_action(fsm)
+        fsm.on_enable_returned(False)
+        assert fsm.state == FsmState.S_OFF
+
+
+class TestTimeouts:
+    def test_disable_timeout_falls_to_enable(self):
+        fsm = make_fsm()
+        fsm.on_first_flit()
+        tick_until_action(fsm)
+        fsm.on_probe_returned((Turn.STRAIGHT,), Port.SOUTH, Port.NORTH)
+        assert tick_until_action(fsm) == FsmAction.SEND_ENABLE
+        assert fsm.state == FsmState.S_ENABLE
+
+    def test_enable_retransmits_then_aborts(self):
+        fsm = make_fsm(max_enable_retries=3)
+        fsm.on_first_flit()
+        tick_until_action(fsm)
+        fsm.on_probe_returned((Turn.STRAIGHT,), Port.SOUTH, Port.NORTH)
+        tick_until_action(fsm)  # disable timeout -> SEND_ENABLE
+        for _ in range(3):
+            assert tick_until_action(fsm) == FsmAction.SEND_ENABLE
+        assert tick_until_action(fsm) == FsmAction.ABORT_RECOVERY
+        fsm.abort_recovery(False)
+        assert fsm.state == FsmState.S_OFF
+        assert fsm.recoveries_aborted == 1
+
+
+class TestForeignEvents:
+    def test_foreign_disable_parks_fsm(self):
+        fsm = make_fsm()
+        fsm.on_first_flit()
+        fsm.on_foreign_disable()
+        assert fsm.state == FsmState.S_OFF
+
+    def test_foreign_enable_resumes(self):
+        fsm = make_fsm()
+        fsm.on_first_flit()
+        fsm.on_foreign_disable()
+        fsm.on_foreign_enable(True)
+        assert fsm.state == FsmState.S_DD
+
+    def test_foreign_enable_idle_stays_off(self):
+        fsm = make_fsm()
+        fsm.on_foreign_enable(False)
+        assert fsm.state == FsmState.S_OFF
+
+    def test_foreign_disable_does_not_touch_recovery(self):
+        fsm = make_fsm()
+        fsm.on_first_flit()
+        tick_until_action(fsm)
+        fsm.on_probe_returned((Turn.STRAIGHT,), Port.SOUTH, Port.NORTH)
+        fsm.on_foreign_disable()
+        assert fsm.state == FsmState.S_DISABLE
+
+
+class TestRecoveryThreshold:
+    def test_round_trip_bound(self):
+        """t_DR covers a loop of path_length + 1 hops at 2 cycles/hop."""
+        for length in (1, 5, 20, 58):
+            assert recovery_threshold(length) >= 2 * (length + 1)
+
+    def test_monotone(self):
+        values = [recovery_threshold(n) for n in range(10)]
+        assert values == sorted(values)
+
+
+def test_in_recovery_states():
+    fsm = make_fsm()
+    assert not fsm.in_recovery()
+    fsm.on_first_flit()
+    assert not fsm.in_recovery()
+    fsm.tick()
+    for _ in range(10):
+        fsm.tick()
+    fsm.on_probe_returned((Turn.STRAIGHT,), Port.SOUTH, Port.NORTH)
+    assert fsm.in_recovery()

@@ -1,0 +1,151 @@
+"""Cross-module integration tests.
+
+These exercise complete stacks (topology -> routing -> simulation ->
+scheme -> stats) in configurations the unit tests don't reach: larger
+meshes, mixed fault types, multiple vnets, and scheme-equivalence
+checks at loads where no recovery machinery should trigger.
+"""
+
+import random
+
+import pytest
+
+from repro.core.placement import bubble_count
+from repro.protocols import make_scheme
+from repro.sim.config import SimConfig
+from repro.sim.engine import run_to_drain, run_with_window
+from repro.sim.network import Network
+from repro.topology.faults import inject_link_faults, inject_router_faults
+from repro.topology.mesh import mesh
+from repro.traffic.synthetic import BitComplementTraffic, UniformRandomTraffic
+
+
+class TestSchemeEquivalenceAtLowLoad:
+    """With no deadlocks, SB and escape-VC behave like plain minimal
+    routing — their machinery must be performance-invisible."""
+
+    def test_latency_matches_unprotected(self):
+        topo = inject_link_faults(mesh(8, 8), 6, random.Random(12))
+        config = SimConfig()
+        results = {}
+        for name in ("minimal-unprotected", "escape-vc", "static-bubble"):
+            traffic = UniformRandomTraffic(topo, rate=0.02, seed=12)
+            net = Network(topo, config, make_scheme(name), traffic, seed=12)
+            results[name] = run_with_window(net, 300, 900).avg_latency
+        base = results["minimal-unprotected"]
+        assert results["static-bubble"] == pytest.approx(base, rel=0.02)
+        assert results["escape-vc"] == pytest.approx(base, rel=0.02)
+
+    def test_no_recovery_machinery_fires(self):
+        topo = inject_link_faults(mesh(8, 8), 6, random.Random(12))
+        config = SimConfig()
+        traffic = UniformRandomTraffic(topo, rate=0.02, seed=12)
+        net = Network(topo, config, make_scheme("static-bubble"), traffic, seed=12)
+        net.run(1200)
+        assert net.stats.bubble_activations == 0
+        assert net.stats.disables_sent == 0
+
+
+class TestLargerMesh:
+    def test_16x16_static_bubble_setup(self):
+        topo = mesh(16, 16)
+        config = SimConfig(width=16, height=16)
+        scheme = make_scheme("static-bubble")
+        net = Network(topo, config, scheme, None, seed=1)
+        assert len(scheme.states) == bubble_count(16, 16) == 89
+
+    def test_16x16_delivery(self):
+        topo = inject_link_faults(mesh(16, 16), 10, random.Random(8))
+        config = SimConfig(width=16, height=16)
+        traffic = UniformRandomTraffic(topo, rate=0.02, seed=8)
+        net = Network(topo, config, make_scheme("static-bubble"), traffic, seed=8)
+        net.run(400)
+        net.traffic = None
+        assert run_to_drain(net, 3000) is not None
+        assert net.stats.packets_ejected == net.stats.packets_injected
+
+
+class TestNonSquareMesh:
+    def test_4x8_all_schemes_deliver(self):
+        topo = inject_link_faults(mesh(4, 8), 3, random.Random(5))
+        config = SimConfig(width=4, height=8)
+        for name in ("spanning-tree", "escape-vc", "static-bubble"):
+            traffic = UniformRandomTraffic(topo, rate=0.03, seed=5)
+            net = Network(topo, config, make_scheme(name), traffic, seed=5)
+            net.run(600)
+            net.traffic = None
+            assert run_to_drain(net, 3000) is not None, name
+            assert net.stats.packets_ejected == net.stats.packets_injected, name
+
+
+class TestMixedFaults:
+    def test_links_and_routers_failed_together(self):
+        topo = mesh(8, 8)
+        rng = random.Random(21)
+        topo = inject_link_faults(topo, 6, rng)
+        topo = inject_router_faults(topo, 4, rng)
+        config = SimConfig()
+        traffic = UniformRandomTraffic(topo, rate=0.05, seed=21)
+        net = Network(topo, config, make_scheme("static-bubble"), traffic, seed=21)
+        result = run_with_window(net, 300, 900)
+        assert result.packets_ejected > 50
+        assert result.avg_latency > 0
+
+
+class TestMultipleVnets:
+    def test_vnets_are_isolated(self):
+        """Packets of different vnets never share VCs."""
+        topo = mesh(4, 4)
+        config = SimConfig(width=4, height=4, vnets=3, vcs_per_vnet=2)
+        traffic = UniformRandomTraffic(topo, rate=0.1, seed=6, vnets=3)
+        net = Network(topo, config, make_scheme("static-bubble"), traffic, seed=6)
+        for _ in range(80):
+            net.run(5)
+            for router in net.active_routers():
+                for port in range(5):
+                    for vc in router.input_vcs[port]:
+                        if vc.packet is not None:
+                            assert vc.packet.vnet == vc.vnet
+
+    def test_three_vnet_delivery(self):
+        topo = mesh(4, 4)
+        config = SimConfig(width=4, height=4, vnets=3, vcs_per_vnet=2)
+        traffic = UniformRandomTraffic(topo, rate=0.06, seed=6, vnets=3)
+        net = Network(topo, config, make_scheme("escape-vc"), traffic, seed=6)
+        net.run(500)
+        net.traffic = None
+        assert run_to_drain(net, 3000) is not None
+
+
+class TestBitComplementStress:
+    def test_sb_beats_tree_on_bit_complement(self):
+        """Fig. 8(b)'s pattern at a moderate load on a faulty mesh."""
+        topo = inject_link_faults(mesh(8, 8), 8, random.Random(17))
+        config = SimConfig()
+        lat = {}
+        for name in ("spanning-tree", "static-bubble"):
+            traffic = BitComplementTraffic(topo, rate=0.05, seed=17)
+            net = Network(topo, config, make_scheme(name), traffic, seed=17)
+            lat[name] = run_with_window(net, 400, 1200).avg_latency
+        assert lat["static-bubble"] <= lat["spanning-tree"] * 1.02
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_results(self):
+        topo = inject_link_faults(mesh(6, 6), 5, random.Random(3))
+        config = SimConfig(width=6, height=6)
+
+        def run():
+            traffic = UniformRandomTraffic(topo, rate=0.15, seed=33)
+            net = Network(topo, config, make_scheme("static-bubble"), traffic, seed=33)
+            net.run(800)
+            s = net.stats
+            return (
+                s.packets_injected,
+                s.packets_ejected,
+                s.latency_sum,
+                s.probes_sent,
+                s.bubble_activations,
+            )
+
+        assert run() == run()

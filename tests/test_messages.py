@@ -1,0 +1,79 @@
+"""Unit tests for special control messages."""
+
+import pytest
+
+from repro.core.messages import (
+    FORWARD_PRIORITY,
+    MsgType,
+    SpecialMessage,
+    make_path_message,
+    make_probe,
+)
+from repro.core.turns import PROBE_TURN_CAPACITY, Port, Turn
+
+
+class TestPriorities:
+    def test_check_probe_highest(self):
+        assert FORWARD_PRIORITY[MsgType.CHECK_PROBE] > FORWARD_PRIORITY[MsgType.DISABLE]
+
+    def test_disable_enable_equal(self):
+        assert FORWARD_PRIORITY[MsgType.DISABLE] == FORWARD_PRIORITY[MsgType.ENABLE]
+
+    def test_probe_lowest(self):
+        assert FORWARD_PRIORITY[MsgType.PROBE] < FORWARD_PRIORITY[MsgType.ENABLE]
+
+    def test_priority_property(self):
+        msg = make_probe(5, Port.NORTH)
+        assert msg.priority == FORWARD_PRIORITY[MsgType.PROBE]
+
+
+class TestProbe:
+    def test_fresh_probe(self):
+        probe = make_probe(12, Port.EAST)
+        assert probe.mtype == MsgType.PROBE
+        assert probe.sender == 12
+        assert probe.turns == ()
+        assert probe.travel == Port.EAST
+        assert probe.origin_out == Port.EAST
+
+    def test_turn_append_preserves_origin(self):
+        probe = make_probe(12, Port.EAST)
+        forked = probe.with_turn_appended(Turn.LEFT, Port.NORTH)
+        assert forked.turns == (Turn.LEFT,)
+        assert forked.travel == Port.NORTH
+        assert forked.origin_out == Port.EAST
+        assert forked.sender == 12
+        # original untouched (frozen)
+        assert probe.turns == ()
+
+    def test_capacity(self):
+        probe = make_probe(1, Port.EAST)
+        for _ in range(PROBE_TURN_CAPACITY):
+            assert not probe.at_capacity()
+            probe = probe.with_turn_appended(Turn.STRAIGHT, Port.EAST)
+        assert probe.at_capacity()
+
+
+class TestPathMessages:
+    def test_strip_head(self):
+        msg = make_path_message(
+            MsgType.DISABLE, 7, (Turn.LEFT, Turn.STRAIGHT), Port.NORTH
+        )
+        stripped = msg.with_head_stripped(Port.WEST)
+        assert stripped.turns == (Turn.STRAIGHT,)
+        assert stripped.travel == Port.WEST
+
+    def test_probe_cannot_be_path_message(self):
+        with pytest.raises(ValueError):
+            make_path_message(MsgType.PROBE, 7, (), Port.NORTH)
+
+    def test_all_path_types(self):
+        for mtype in (MsgType.DISABLE, MsgType.ENABLE, MsgType.CHECK_PROBE):
+            msg = make_path_message(mtype, 3, (Turn.RIGHT,), Port.SOUTH)
+            assert msg.mtype == mtype
+            assert msg.turns == (Turn.RIGHT,)
+
+    def test_immutability(self):
+        msg = make_probe(1, Port.EAST)
+        with pytest.raises(Exception):
+            msg.sender = 2

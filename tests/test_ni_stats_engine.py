@@ -1,0 +1,147 @@
+"""Tests for the NI, statistics, and run-loop helpers."""
+
+import pytest
+
+from repro.protocols.none import MinimalUnprotected
+from repro.sim.config import SimConfig
+from repro.sim.engine import run_to_drain, run_with_window
+from repro.sim.network import Network
+from repro.sim.stats import NetworkStats
+from repro.topology.mesh import mesh
+from repro.traffic.synthetic import UniformRandomTraffic
+from repro.traffic.trace import TraceTraffic
+from repro.utils.rng import derive_seed, spawn_rng
+from repro.utils.reporting import Reporter, format_series, format_table
+
+
+class TestNi:
+    def test_queue_cap_refuses(self):
+        topo = mesh(2, 1)
+        config = SimConfig(width=2, height=1, injection_queue_cap=2)
+        events = [(0, 0, 1, 0, 5)] * 10
+        net = Network(topo, config, MinimalUnprotected(), TraceTraffic(events), seed=1)
+        net.step()
+        ni = net.nis[0]
+        assert ni.packets_refused > 0
+        assert len(ni.queue) <= 2
+
+    def test_unbounded_queue(self):
+        topo = mesh(2, 1)
+        config = SimConfig(width=2, height=1, injection_queue_cap=0)
+        events = [(0, 0, 1, 0, 5)] * 10
+        net = Network(topo, config, MinimalUnprotected(), TraceTraffic(events), seed=1)
+        net.step()
+        assert net.nis[0].packets_refused == 0
+
+    def test_injection_one_per_cycle(self):
+        topo = mesh(2, 1)
+        config = SimConfig(width=2, height=1)
+        events = [(0, 0, 1, 0, 1)] * 8
+        net = Network(topo, config, MinimalUnprotected(), TraceTraffic(events), seed=1)
+        net.step()
+        assert net.stats.packets_injected == 1
+
+    def test_queueing_latency_recorded(self):
+        topo = mesh(2, 1)
+        config = SimConfig(width=2, height=1)
+        events = [(0, 0, 1, 0, 5), (0, 0, 1, 0, 5)]
+        net = Network(topo, config, MinimalUnprotected(), TraceTraffic(events), seed=1)
+        run_to_drain(net, 100)
+        assert net.stats.total_latency_sum > net.stats.latency_sum
+
+
+class TestStats:
+    def test_zero_division_safety(self):
+        stats = NetworkStats()
+        assert stats.avg_latency == 0.0
+        assert stats.avg_total_latency == 0.0
+        assert stats.window_avg_latency() == 0.0
+        assert stats.window_throughput(100, 0) == 0.0
+
+    def test_link_utilization_empty(self):
+        stats = NetworkStats()
+        util = stats.link_utilization_by_class()
+        assert util["flit"] == 0.0
+
+    def test_link_utilization_shares_sum_to_one(self):
+        stats = NetworkStats()
+        stats.link_flit_cycles = 90
+        stats.link_special_cycles["probe"] = 10
+        util = stats.link_utilization_by_class()
+        assert sum(util.values()) == pytest.approx(1.0)
+        assert util["flit"] == pytest.approx(0.9)
+
+    def test_window_reset(self):
+        stats = NetworkStats()
+        stats.window_flits_ejected = 42
+        stats.begin_window(100)
+        assert stats.window_flits_ejected == 0
+        assert stats.window_start_cycle == 100
+
+    def test_summary_keys(self):
+        keys = NetworkStats().summary().keys()
+        assert "avg_latency" in keys and "deadlocks_observed" in keys
+
+
+class TestEngine:
+    def test_run_with_window_measures_after_warmup(self):
+        topo = mesh(4, 4)
+        config = SimConfig(width=4, height=4)
+        traffic = UniformRandomTraffic(topo, rate=0.05, seed=1)
+        net = Network(topo, config, MinimalUnprotected(), traffic, seed=1)
+        result = run_with_window(net, warmup=100, measure=400)
+        assert result.cycles == 500
+        assert result.packets_ejected > 0
+        assert not result.deadlocked
+
+    def test_run_to_drain_timeout(self):
+        topo = mesh(2, 1)
+        config = SimConfig(width=2, height=1)
+        # Infinite source never drains.
+        traffic = UniformRandomTraffic(topo, rate=0.5, seed=1)
+        net = Network(topo, config, MinimalUnprotected(), traffic, seed=1)
+        assert run_to_drain(net, 200) is None
+
+    def test_run_to_drain_success(self):
+        topo = mesh(2, 1)
+        config = SimConfig(width=2, height=1)
+        net = Network(
+            topo, config, MinimalUnprotected(), TraceTraffic([(0, 0, 1, 0, 1)]), seed=1
+        )
+        cycles = run_to_drain(net, 200)
+        assert cycles is not None and cycles <= 24
+
+
+class TestRng:
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_spawn_rng_reproducible(self):
+        a = spawn_rng(7, "x").random()
+        b = spawn_rng(7, "x").random()
+        assert a == b
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2.34567], [100, 0.1]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.346" in text
+
+    def test_format_series(self):
+        text = format_series({"x": 1.23456}, ndigits=2, title="t")
+        assert text.splitlines()[0] == "t"
+        assert "1.23" in text
+
+    def test_reporter_collects(self):
+        rep = Reporter("demo")
+        rep.line("hello")
+        rep.table(["h"], [[1]])
+        out = rep.text()
+        assert out.startswith("== demo ==")
+        assert "hello" in out and "1" in out

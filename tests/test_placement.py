@@ -1,0 +1,155 @@
+"""Tests for the static bubble placement algorithm (Section III).
+
+Covers the paper's exact counts (21 in 8x8, 89 in 16x16), the closed
+form vs. direct enumeration, and — via exhaustive small-mesh cycle
+enumeration and hypothesis-driven random irregular topologies — the
+placement lemma: every cycle in every mesh-derived topology passes
+through at least one static-bubble node.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import (
+    bubble_count,
+    covers_cycle,
+    has_static_bubble,
+    placement,
+    placement_map,
+    placement_node_ids,
+    uncovered_cycles,
+)
+from repro.topology.faults import inject_link_faults, inject_router_faults
+from repro.topology.graph import simple_cycles
+from repro.topology.mesh import mesh
+
+
+class TestPlacementRules:
+    def test_no_bubbles_on_first_row_or_column(self):
+        for v in range(16):
+            assert not has_static_bubble(0, v)
+            assert not has_static_bubble(v, 0)
+
+    def test_diagonal_condition(self):
+        assert has_static_bubble(1, 1)
+        assert has_static_bubble(2, 2)
+        assert has_static_bubble(5, 1)  # 5 % 4 == 1 % 4
+        assert has_static_bubble(4, 4)
+
+    def test_dotted_diagonal_conditions(self):
+        assert has_static_bubble(1, 3)  # condition (2)
+        assert has_static_bubble(3, 1)  # condition (3)
+        assert has_static_bubble(5, 3)
+        assert has_static_bubble(7, 1)
+
+    def test_non_bubble_examples(self):
+        # The five bounded forms from the lemma proof (Fig. 4b).
+        assert not has_static_bubble(2, 4)   # (4k+2, 4l)
+        assert not has_static_bubble(1, 4)   # (4k+1, 4l)
+        assert not has_static_bubble(3, 4)   # (4k+3, 4l)
+        assert not has_static_bubble(2, 3)   # (4k+2, 4l-1)
+        assert not has_static_bubble(2, 5)   # (4k+2, 4l+1)
+
+
+class TestCounts:
+    def test_paper_counts(self):
+        """The headline numbers: 21 bubbles in 8x8, 89 in 16x16."""
+        assert bubble_count(8, 8) == 21
+        assert bubble_count(16, 16) == 89
+
+    def test_formula_matches_enumeration_squares(self):
+        for n in range(1, 20):
+            assert bubble_count(n, n) == len(placement(n, n))
+
+    @given(
+        width=st.integers(min_value=1, max_value=24),
+        height=st.integers(min_value=1, max_value=24),
+    )
+    def test_formula_matches_enumeration(self, width, height):
+        assert bubble_count(width, height) == len(placement(width, height))
+
+    def test_scales_roughly_linearly_in_min_dimension(self):
+        """The paper: count scales with min(m, n), keeping cost low."""
+        wide = bubble_count(64, 8)
+        square = bubble_count(64, 64)
+        assert wide < square / 3
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            bubble_count(0, 8)
+        with pytest.raises(ValueError):
+            placement(8, -1)
+
+
+class TestPlacementNodeIds:
+    def test_ids_match_coords(self):
+        ids = placement_node_ids(8, 8)
+        assert len(ids) == 21
+        for node in ids:
+            x, y = node % 8, node // 8
+            assert has_static_bubble(x, y)
+
+    def test_2x2_has_single_bubble_at_1_1(self):
+        assert placement_node_ids(2, 2) == {3}
+
+
+class TestLemmaExhaustive:
+    """Exhaustive cycle coverage on small meshes."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_all_cycles_covered_full_mesh(self, n):
+        topo = mesh(n, n)
+        cycles = simple_cycles(topo, length_bound=2 * n + 4)
+        assert cycles, "mesh should have cycles"
+        coords = [[(node % n, node // n) for node in cycle] for cycle in cycles]
+        assert uncovered_cycles(coords) == []
+
+    def test_all_short_cycles_covered_8x8(self):
+        topo = mesh(8, 8)
+        cycles = simple_cycles(topo, length_bound=8)
+        coords = [[(node % 8, node // 8) for node in cycle] for cycle in cycles]
+        assert uncovered_cycles(coords) == []
+
+
+class TestLemmaIrregular:
+    """Random irregular derivations keep the coverage (the corollary)."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        faults=st.integers(min_value=1, max_value=20),
+        kind=st.sampled_from(["link", "router"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cycles_in_irregular_topologies_covered(self, seed, faults, kind):
+        topo = mesh(6, 6)
+        rng = random.Random(seed)
+        if kind == "link":
+            topo = inject_link_faults(topo, min(faults, 20), rng)
+        else:
+            topo = inject_router_faults(topo, min(faults, 20), rng)
+        cycles = simple_cycles(topo, length_bound=12)
+        coords = [[(node % 6, node // 6) for node in cycle] for cycle in cycles]
+        assert uncovered_cycles(coords) == []
+
+    def test_covers_cycle_empty_is_false(self):
+        assert not covers_cycle([])
+
+    def test_covers_cycle_direct(self):
+        assert covers_cycle([(0, 0), (1, 1)])
+        assert not covers_cycle([(0, 0), (1, 0), (0, 1)])
+
+
+class TestPlacementMap:
+    def test_map_dimensions(self):
+        art = placement_map(8, 8)
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 8 for line in lines)
+        assert sum(line.count("B") for line in lines) == 21
+
+    def test_bottom_row_has_no_bubbles(self):
+        art = placement_map(8, 8)
+        assert "B" not in art.splitlines()[-1]  # y == 0 row printed last

@@ -1,0 +1,82 @@
+"""Public API surface contract.
+
+Guards the import surface a downstream user relies on: everything in
+``repro.__all__`` resolves, the scheme registry is complete, and the
+experiment registry exposes quick/full parameterizations with run/report.
+"""
+
+import dataclasses
+
+import repro
+from repro.experiments import ALL_EXPERIMENTS
+from repro.protocols import SCHEMES, make_scheme
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_snippet_names(self):
+        """The names used by the README quickstart must stay exported."""
+        for name in (
+            "mesh",
+            "inject_link_faults",
+            "SimConfig",
+            "Network",
+            "StaticBubbleScheme",
+            "UniformRandomTraffic",
+            "run_with_window",
+        ):
+            assert name in repro.__all__
+
+
+class TestSchemeRegistry:
+    def test_all_schemes_constructible(self):
+        for name in SCHEMES:
+            scheme = make_scheme(name)
+            assert scheme.name in (name, "base") or scheme.name == name
+
+    def test_scheme_names_match_registry_keys(self):
+        for name, cls in SCHEMES.items():
+            assert cls.name == name
+
+    def test_unknown_scheme(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_scheme("definitely-not-a-scheme")
+
+
+class TestExperimentRegistry:
+    def test_every_experiment_has_contract(self):
+        for name, module in ALL_EXPERIMENTS.items():
+            assert callable(module.run), name
+            assert callable(module.report), name
+            params_cls = next(
+                getattr(module, n) for n in dir(module) if n.endswith("Params")
+            )
+            assert dataclasses.is_dataclass(params_cls), name
+            quick = params_cls.quick()
+            full = params_cls.full()
+            assert isinstance(quick, params_cls)
+            assert isinstance(full, params_cls)
+
+    def test_full_params_are_at_least_quick_scale(self):
+        """full() must never be smaller than quick() where comparable."""
+        for name, module in ALL_EXPERIMENTS.items():
+            params_cls = next(
+                getattr(module, n) for n in dir(module) if n.endswith("Params")
+            )
+            quick, full = params_cls.quick(), params_cls.full()
+            if hasattr(quick, "samples"):
+                assert full.samples >= quick.samples, name
+
+    def test_registry_covers_every_evaluation_figure(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "table1",
+        }

@@ -1,0 +1,196 @@
+"""Tests for spanning trees, up*/down* routing and tree next-hop tables.
+
+Includes the load-bearing property: routes produced by the up*/down*
+builder have no down->up turn, which makes the channel-dependency graph
+acyclic — the deadlock-freedom argument of the baseline.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.turns import Port
+from repro.routing.paths import route_is_valid, route_node_sequence
+from repro.routing.spanning_tree import (
+    SpanningTree,
+    build_spanning_trees,
+    choose_root,
+    tree_next_hop_tables,
+    updown_route,
+)
+from repro.routing.table import build_updown_tables
+from repro.topology.faults import inject_link_faults, inject_router_faults
+from repro.topology.graph import connected_components
+from repro.topology.mesh import mesh
+
+
+class TestSpanningTree:
+    def test_covers_component(self):
+        topo = mesh(4, 4)
+        tree = SpanningTree(topo, root=5)
+        assert tree.nodes() == set(topo.all_nodes())
+
+    def test_depths_are_bfs(self):
+        topo = mesh(4, 4)
+        tree = SpanningTree(topo, root=0)
+        for node in topo.all_nodes():
+            x, y = topo.coords(node)
+            assert tree.depth[node] == x + y
+
+    def test_tree_path_endpoints(self):
+        topo = mesh(4, 4)
+        tree = SpanningTree(topo, root=0)
+        path = tree.tree_path(3, 12)
+        assert path[0] == 3 and path[-1] == 12
+        for u, v in zip(path, path[1:]):
+            assert tree.parent[u] == v or tree.parent[v] == u
+
+    def test_root_must_be_active(self):
+        topo = mesh(4, 4)
+        topo.deactivate_node(5)
+        with pytest.raises(ValueError):
+            SpanningTree(topo, root=5)
+
+    def test_choose_root_is_central(self):
+        topo = mesh(5, 5)
+        root = choose_root(topo, set(topo.all_nodes()))
+        assert topo.coords(root) == (2, 2)
+
+    def test_one_tree_per_component(self):
+        topo = mesh(2, 2)
+        topo.deactivate_link(0, 1)
+        topo.deactivate_link(0, 2)
+        trees = build_spanning_trees(topo)
+        assert len(trees) == 2
+        assert {frozenset(t.nodes()) for t in trees} == {
+            frozenset({0}),
+            frozenset({1, 2, 3}),
+        }
+
+
+def _route_has_down_up_turn(topo, tree, src, route) -> bool:
+    nodes = route_node_sequence(topo, src, route)
+    gone_down = False
+    for u, v in zip(nodes, nodes[1:]):
+        up = tree.edge_is_up(u, v)
+        if gone_down and up:
+            return True
+        gone_down = gone_down or not up
+    return False
+
+
+class TestUpDownRouting:
+    def test_routes_valid_and_reach(self):
+        topo = mesh(4, 4)
+        tree = build_spanning_trees(topo)[0]
+        for src in topo.all_nodes():
+            for dst in topo.all_nodes():
+                if src == dst:
+                    continue
+                route = updown_route(topo, tree, src, dst)
+                assert route is not None
+                assert route_is_valid(topo, src, dst, route)
+
+    def test_no_down_up_turns_full_mesh(self):
+        topo = mesh(4, 4)
+        tree = build_spanning_trees(topo)[0]
+        for src in topo.all_nodes():
+            for dst in topo.all_nodes():
+                if src != dst:
+                    route = updown_route(topo, tree, src, dst)
+                    assert not _route_has_down_up_turn(topo, tree, src, route)
+
+    def test_cross_component_is_none(self):
+        topo = mesh(2, 2)
+        topo.deactivate_link(0, 1)
+        topo.deactivate_link(0, 2)
+        trees = build_spanning_trees(topo)
+        big = next(t for t in trees if len(t.nodes()) == 3)
+        assert updown_route(topo, big, 1, 0) is None
+
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        faults=st.integers(min_value=0, max_value=12),
+        kind=st.sampled_from(["link", "router"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_updown_valid_under_faults(self, seed, faults, kind):
+        rng = random.Random(seed)
+        if kind == "link":
+            topo = inject_link_faults(mesh(5, 5), faults, rng)
+        else:
+            topo = inject_router_faults(mesh(5, 5), min(faults, 10), rng)
+        for tree in build_spanning_trees(topo):
+            members = sorted(tree.nodes())
+            pick = random.Random(seed + 1)
+            for _ in range(6):
+                if len(members) < 2:
+                    break
+                src, dst = pick.sample(members, 2)
+                route = updown_route(topo, tree, src, dst)
+                assert route is not None
+                assert route_is_valid(topo, src, dst, route)
+                assert not _route_has_down_up_turn(topo, tree, src, route)
+
+
+class TestChannelDependencyAcyclicity:
+    """The deadlock-freedom theorem behind the baseline, checked directly."""
+
+    def _channel_dependency_graph(self, topo, tables):
+        cdg = nx.DiGraph()
+        for src, table in tables.items():
+            for dst in table.destinations():
+                for route in table.routes(dst):
+                    nodes = route_node_sequence(topo, src, route)
+                    channels = list(zip(nodes, nodes[1:]))
+                    for c1, c2 in zip(channels, channels[1:]):
+                        cdg.add_edge(c1, c2)
+        return cdg
+
+    @pytest.mark.parametrize("faults", [0, 4, 10])
+    def test_updown_tables_have_acyclic_cdg(self, faults):
+        topo = inject_link_faults(mesh(5, 5), faults, random.Random(7))
+        tables = build_updown_tables(topo)
+        cdg = self._channel_dependency_graph(topo, tables)
+        assert nx.is_directed_acyclic_graph(cdg)
+
+    def test_minimal_tables_do_have_cycles(self):
+        """Contrast: unrestricted minimal routing is deadlock-prone."""
+        from repro.routing.table import build_minimal_tables
+
+        topo = mesh(4, 4)
+        tables = build_minimal_tables(topo, max_paths=4)
+        cdg = self._channel_dependency_graph(topo, tables)
+        assert not nx.is_directed_acyclic_graph(cdg)
+
+
+class TestTreeNextHop:
+    def test_tables_route_to_destination(self):
+        topo = mesh(4, 4)
+        tree = build_spanning_trees(topo)[0]
+        tables = tree_next_hop_tables(topo, tree)
+        for src in topo.all_nodes():
+            for dst in topo.all_nodes():
+                node, hops = src, 0
+                while node != dst:
+                    port = tables[node][dst]
+                    node = topo.neighbor(node, port)
+                    hops += 1
+                    assert hops < 32, "tree routing must terminate"
+                assert tables[dst][dst] == Port.LOCAL
+
+    def test_tree_routing_stays_on_tree(self):
+        topo = mesh(4, 4)
+        tree = build_spanning_trees(topo)[0]
+        tables = tree_next_hop_tables(topo, tree)
+        for src in topo.all_nodes():
+            for dst in topo.all_nodes():
+                node = src
+                while node != dst:
+                    port = tables[node][dst]
+                    nxt = topo.neighbor(node, port)
+                    assert tree.parent[node] == nxt or tree.parent[nxt] == node
+                    node = nxt

@@ -1,0 +1,147 @@
+"""Tests for synthetic traffic generators and traces."""
+
+import pytest
+
+from repro.topology.mesh import mesh
+from repro.traffic.base import CompositeTraffic, TrafficGenerator
+from repro.traffic.synthetic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    TransposeTraffic,
+    UniformRandomTraffic,
+    make_pattern,
+)
+from repro.traffic.trace import TraceTraffic
+
+
+class TestUniformRandom:
+    def test_rate_expectation(self):
+        """Mean injected flits per node per cycle tracks the rate."""
+        topo = mesh(8, 8)
+        traffic = UniformRandomTraffic(topo, rate=0.1, seed=1)
+        flits = 0
+        cycles = 4000
+        for t in range(cycles):
+            for _, _, _, size in traffic.packets_at(t):
+                flits += size
+        measured = flits / (cycles * topo.num_nodes)
+        assert measured == pytest.approx(0.1, rel=0.1)
+
+    def test_never_self_destined(self):
+        topo = mesh(4, 4)
+        traffic = UniformRandomTraffic(topo, rate=0.5, seed=2)
+        for t in range(200):
+            for src, dst, _, _ in traffic.packets_at(t):
+                assert src != dst
+
+    def test_zero_rate_silent(self):
+        topo = mesh(4, 4)
+        traffic = UniformRandomTraffic(topo, rate=0.0, seed=1)
+        assert list(traffic.packets_at(0)) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(mesh(4, 4), rate=-0.1)
+
+    def test_packet_size_mix(self):
+        topo = mesh(4, 4)
+        traffic = UniformRandomTraffic(
+            topo, rate=0.3, seed=3, data_flits=5, ctrl_flits=1, data_fraction=0.5
+        )
+        sizes = []
+        for t in range(500):
+            sizes.extend(size for *_, size in traffic.packets_at(t))
+        assert set(sizes) == {1, 5}
+        data_frac = sum(1 for s in sizes if s == 5) / len(sizes)
+        assert data_frac == pytest.approx(0.5, abs=0.1)
+
+    def test_sources_restricted_to_active_nodes(self):
+        topo = mesh(4, 4)
+        topo.deactivate_node(5)
+        traffic = UniformRandomTraffic(topo, rate=0.5, seed=1)
+        for t in range(100):
+            for src, _, _, _ in traffic.packets_at(t):
+                assert src != 5
+
+
+class TestPatterns:
+    def test_bit_complement_mapping(self):
+        topo = mesh(8, 8)
+        traffic = BitComplementTraffic(topo, rate=1.0, seed=1)
+        assert traffic.destination(topo.node_id(0, 0)) == topo.node_id(7, 7)
+        assert traffic.destination(topo.node_id(2, 5)) == topo.node_id(5, 2)
+
+    def test_transpose_mapping(self):
+        topo = mesh(8, 8)
+        traffic = TransposeTraffic(topo, rate=1.0, seed=1)
+        assert traffic.destination(topo.node_id(2, 5)) == topo.node_id(5, 2)
+        assert traffic.destination(topo.node_id(3, 3)) is None
+
+    def test_transpose_requires_square(self):
+        topo = mesh(4, 2)
+        traffic = TransposeTraffic(topo, rate=1.0, seed=1)
+        with pytest.raises(ValueError):
+            traffic.destination(0)
+
+    def test_hotspot_bias(self):
+        topo = mesh(8, 8)
+        traffic = HotspotTraffic(
+            topo, rate=1.0, hotspots=[0], hot_fraction=0.9, seed=4
+        )
+        hits = sum(
+            1 for _ in range(500) if traffic.destination(topo.node_id(5, 5)) == 0
+        )
+        assert hits > 350
+
+    def test_hotspot_requires_hotspots(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(mesh(4, 4), rate=0.1, hotspots=[])
+
+    def test_factory(self):
+        topo = mesh(4, 4)
+        assert isinstance(
+            make_pattern("uniform_random", topo, 0.1), UniformRandomTraffic
+        )
+        with pytest.raises(ValueError):
+            make_pattern("nope", topo, 0.1)
+
+
+class TestTrace:
+    def test_replay_in_order(self):
+        trace = TraceTraffic([(5, 0, 1, 0, 1), (2, 1, 2, 0, 5), (2, 2, 3, 0, 1)])
+        assert list(trace.packets_at(0)) == []
+        assert len(list(trace.packets_at(2))) == 2
+        assert not trace.exhausted(2)
+        assert len(list(trace.packets_at(5))) == 1
+        assert trace.exhausted(5)
+
+    def test_late_poll_catches_up(self):
+        trace = TraceTraffic([(2, 1, 2, 0, 5)])
+        assert len(list(trace.packets_at(10))) == 1
+
+    def test_totals(self):
+        trace = TraceTraffic([(0, 0, 1, 0, 5), (1, 1, 2, 0, 1)])
+        assert trace.total_flits() == 6
+        assert trace.last_cycle() == 1
+        assert len(trace) == 2
+
+    def test_reset(self):
+        trace = TraceTraffic([(0, 0, 1, 0, 5)])
+        list(trace.packets_at(0))
+        assert trace.exhausted(0)
+        trace.reset()
+        assert not trace.exhausted(0)
+
+
+class TestComposite:
+    def test_union(self):
+        a = TraceTraffic([(0, 0, 1, 0, 1)])
+        b = TraceTraffic([(0, 2, 3, 0, 5)])
+        both = CompositeTraffic([a, b])
+        assert len(list(both.packets_at(0))) == 2
+        assert both.exhausted(0)
+
+    def test_base_generator_is_silent(self):
+        gen = TrafficGenerator()
+        assert list(gen.packets_at(0)) == []
+        assert not gen.exhausted(0)

@@ -1,0 +1,115 @@
+"""Unit tests for directions, ports and the L/S/R turn encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.turns import (
+    DELTA,
+    DIRECTIONS,
+    PROBE_TURN_CAPACITY,
+    Port,
+    Turn,
+    apply_turn,
+    opposite,
+    rotate_left,
+    rotate_right,
+    turn_between,
+)
+
+
+class TestOpposite:
+    def test_pairs(self):
+        assert opposite(Port.EAST) == Port.WEST
+        assert opposite(Port.WEST) == Port.EAST
+        assert opposite(Port.NORTH) == Port.SOUTH
+        assert opposite(Port.SOUTH) == Port.NORTH
+
+    def test_involution(self):
+        for d in DIRECTIONS:
+            assert opposite(opposite(d)) == d
+
+    def test_local_rejected(self):
+        with pytest.raises(ValueError):
+            opposite(Port.LOCAL)
+
+
+class TestRotation:
+    def test_left_cycle(self):
+        assert rotate_left(Port.EAST) == Port.NORTH
+        assert rotate_left(Port.NORTH) == Port.WEST
+        assert rotate_left(Port.WEST) == Port.SOUTH
+        assert rotate_left(Port.SOUTH) == Port.EAST
+
+    def test_right_is_inverse_of_left(self):
+        for d in DIRECTIONS:
+            assert rotate_right(rotate_left(d)) == d
+            assert rotate_left(rotate_right(d)) == d
+
+    def test_four_lefts_identity(self):
+        for d in DIRECTIONS:
+            x = d
+            for _ in range(4):
+                x = rotate_left(x)
+            assert x == d
+
+
+class TestApplyTurn:
+    def test_straight_keeps_direction(self):
+        for d in DIRECTIONS:
+            assert apply_turn(d, Turn.STRAIGHT) == d
+
+    def test_left_right_cancel(self):
+        for d in DIRECTIONS:
+            assert apply_turn(apply_turn(d, Turn.LEFT), Turn.RIGHT) == d
+
+
+class TestTurnBetween:
+    def test_straight(self):
+        # Entering from the West port means travelling East; leaving East
+        # continues straight.
+        assert turn_between(Port.WEST, Port.EAST) == Turn.STRAIGHT
+
+    def test_left(self):
+        # Travelling East (in at West), leaving North is a left turn.
+        assert turn_between(Port.WEST, Port.NORTH) == Turn.LEFT
+
+    def test_right(self):
+        assert turn_between(Port.WEST, Port.SOUTH) == Turn.RIGHT
+
+    def test_uturn_rejected(self):
+        with pytest.raises(ValueError):
+            turn_between(Port.WEST, Port.WEST)
+
+    def test_local_rejected(self):
+        with pytest.raises(ValueError):
+            turn_between(Port.LOCAL, Port.EAST)
+        with pytest.raises(ValueError):
+            turn_between(Port.EAST, Port.LOCAL)
+
+    @given(
+        in_port=st.sampled_from(list(DIRECTIONS)),
+        turn=st.sampled_from(list(Turn)),
+    )
+    def test_roundtrip_with_apply(self, in_port, turn):
+        """turn_between inverts apply_turn for every in-port/turn pair."""
+        travel = opposite(in_port)
+        out = apply_turn(travel, turn)
+        assert turn_between(in_port, out) == turn
+
+
+class TestDelta:
+    def test_deltas_are_unit_vectors(self):
+        for d, (dx, dy) in DELTA.items():
+            assert abs(dx) + abs(dy) == 1
+
+    def test_opposite_deltas_cancel(self):
+        for d in DIRECTIONS:
+            dx, dy = DELTA[d]
+            ox, oy = DELTA[opposite(d)]
+            assert (dx + ox, dy + oy) == (0, 0)
+
+
+def test_probe_capacity_matches_header_budget():
+    """128-bit flit, 3-bit type, 6-bit node id, 2 bits/turn -> 59 turns."""
+    assert PROBE_TURN_CAPACITY == (128 - 3 - 6) // 2

@@ -1,0 +1,139 @@
+"""The paper's Fig. 6 walk-through, reproduced as a test.
+
+A six-router dependency ring with two-deep ports (the paper's VC
+configuration for the example) on a 4x2 mesh whose only on-ring
+static-bubble router corresponds to the paper's node 5.  The ring's
+geometry is chosen so the probe records the walk-through's exact turn
+sequence — (L, L, S, L, L) — before returning to its sender, after which
+the disable/bubble/check_probe/enable sequence drains all twelve packets.
+
+Ring (clockwise): 0 -E-> 1 -E-> 2 -N-> 6 -W-> 5 -W-> 4 -S-> 0.
+Static bubbles on a 4x2 mesh sit at nodes 5=(1,1) and 7=(3,1); only
+node 5 is on the ring, exactly like the paper's example.
+"""
+
+import pytest
+
+from repro.core.fsm import FsmState
+from repro.core.messages import MsgType
+from repro.core.turns import Port, Turn
+from repro.protocols.static_bubble import StaticBubbleScheme
+from repro.sim.config import SimConfig
+from repro.sim.deadlock import find_wait_cycle
+from repro.sim.network import Network
+from repro.topology.mesh import mesh
+
+from tests.conftest import place_packet
+
+E, N, W, S, L = Port.EAST, Port.NORTH, Port.WEST, Port.SOUTH, Port.LOCAL
+
+
+def build_fig6_network(t_dd: int = 6):
+    topo = mesh(4, 2)
+    config = SimConfig(width=4, height=2, vcs_per_vnet=2, sb_t_dd=t_dd)
+    scheme = StaticBubbleScheme()
+    net = Network(topo, config, scheme, traffic=None, seed=1)
+    assert set(scheme.states) == {5, 7}
+
+    # (node, in_port, wants) around the ring; each port carries two
+    # packets (the paper's (A,B) / (E,F) / ... pairs).
+    ring = [
+        (1, W, E),  # packets A, B
+        (2, W, N),  # packets C, D
+        (6, S, W),  # packets E, F
+        (5, E, W),  # packets G, H  <- the static-bubble router
+        (4, E, S),  # packets I, J
+        (0, N, E),  # packets K, Z
+    ]
+    pid = 500
+    for node, in_port, wants in ring:
+        dst = topo.neighbor(node, wants)
+        for vc_index in range(2):
+            place_packet(
+                net, node, in_port, pid, src=node, dst=dst,
+                route=(E, wants, L), vc_index=vc_index,
+            )
+            pid += 1
+    return net, scheme
+
+
+class TestFig6Walkthrough:
+    def test_ring_is_a_true_deadlock(self):
+        net, _ = build_fig6_network()
+        cycle = find_wait_cycle(net, 0)
+        assert cycle is not None
+        assert len(cycle) >= 6
+
+    def test_probe_records_paper_turn_sequence(self):
+        """The probe from node 5 must come back carrying (L, L, S, L, L)."""
+        net, scheme = build_fig6_network()
+        fsm = scheme.states[5].fsm
+        for _ in range(60):
+            net.step()
+            if fsm.state == FsmState.S_DISABLE:
+                break
+        assert fsm.state in (
+            FsmState.S_DISABLE,
+            FsmState.S_SB_ACTIVE,
+            FsmState.S_CHECK_PROBE,
+        ), "probe never returned"
+        assert fsm.turn_buffer == (
+            Turn.LEFT, Turn.LEFT, Turn.STRAIGHT, Turn.LEFT, Turn.LEFT
+        )
+        # The probe left westward and returned on the East port.
+        assert fsm.probe_out_port == W
+        assert fsm.probe_in_port == E
+
+    def test_full_recovery_drains_all_twelve_packets(self):
+        net, scheme = build_fig6_network()
+        done = None
+        for _ in range(1500):
+            net.step()
+            if net.stats.packets_ejected == 12:
+                done = net.cycle
+                break
+        assert done is not None, "ring did not drain"
+        assert find_wait_cycle(net, net.cycle) is None
+        assert net.stats.bubble_activations >= 1
+
+    def test_cleanup_is_complete(self):
+        net, scheme = build_fig6_network()
+        for _ in range(1500):
+            net.step()
+            if net.stats.packets_ejected == 12:
+                break
+        net.run(400)  # let the enable round finish
+        for router in net.active_routers():
+            assert not router.is_deadlock
+            if router.bubble is not None:
+                assert not router.bubble_active
+                assert router.bubble.packet is None
+        fsm = scheme.states[5].fsm
+        assert fsm.state in (FsmState.S_OFF, FsmState.S_DD)
+        assert fsm.turn_buffer == ()
+
+    def test_disable_seals_the_ring(self):
+        """While recovery is underway, the traced routers lock the ring's
+        output ports to the ring's input (no new entrants)."""
+        net, scheme = build_fig6_network()
+        sealed_seen = set()
+        for _ in range(80):
+            net.step()
+            for router in net.active_routers():
+                if router.is_deadlock:
+                    sealed_seen.add(router.node)
+            if scheme.states[5].fsm.state == FsmState.S_SB_ACTIVE:
+                break
+        # The disable traverses 4,0,1,2,6 before returning to 5.
+        assert sealed_seen >= {4, 0, 1, 2, 6}
+
+    def test_off_ring_bubble_router_uninvolved(self):
+        """Node 7's FSM watches nothing (its ports are empty) and its
+        bubble never activates — only the on-ring SB router acts."""
+        net, scheme = build_fig6_network()
+        for _ in range(400):
+            net.step()
+            if net.stats.packets_ejected == 12:
+                break
+        assert scheme.states[7].fsm.probes_sent == 0
+        assert not net.routers[7].bubble_active

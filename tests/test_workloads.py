@@ -1,0 +1,119 @@
+"""Tests for the application workload models (PARSEC/Rodinia substitutes)."""
+
+import random
+
+import pytest
+
+from repro.protocols.none import MinimalUnprotected
+from repro.protocols.spanning_tree import SpanningTreeAvoidance
+from repro.sim.config import SimConfig
+from repro.sim.engine import run_to_drain
+from repro.sim.network import Network
+from repro.topology.faults import default_memory_controllers, inject_link_faults
+from repro.topology.mesh import mesh
+from repro.traffic.workloads import (
+    PARSEC_CLOSED_SPECS,
+    PARSEC_SPECS,
+    RODINIA_SPECS,
+    ClosedLoopWorkload,
+    build_workload_trace,
+    parsec_closed_loop,
+    parsec_trace,
+    rodinia_trace,
+)
+
+
+class TestOpenLoopTraces:
+    def test_rodinia_trace_generates_work(self):
+        topo = mesh(8, 8)
+        mcs = default_memory_controllers(8, 8)
+        trace = rodinia_trace("bplus", topo, mcs, duration=500, seed=1)
+        assert len(trace) > 0
+        assert trace.total_flits() > 0
+
+    def test_hadoop_is_heaviest(self):
+        """Hadoop's collective traffic dominates the Rodinia set."""
+        topo = mesh(8, 8)
+        mcs = default_memory_controllers(8, 8)
+        flits = {
+            name: rodinia_trace(name, topo, mcs, duration=400, seed=1).total_flits()
+            for name in RODINIA_SPECS
+        }
+        assert flits["hadoop"] == max(flits.values())
+
+    def test_parsec_rates_are_low(self):
+        """PARSEC-like traces inject well below deadlock-prone rates."""
+        topo = mesh(8, 8)
+        mcs = default_memory_controllers(8, 8)
+        for name in PARSEC_SPECS:
+            trace = parsec_trace(name, topo, mcs, duration=1000, seed=1)
+            rate = trace.total_flits() / (1000 * 64)
+            assert rate < 0.05
+
+    def test_sources_within_component(self):
+        topo = inject_link_faults(mesh(8, 8), 20, random.Random(5))
+        mcs = default_memory_controllers(8, 8)
+        from repro.topology.graph import largest_component
+
+        component = largest_component(topo)
+        trace = rodinia_trace("bfs", topo, mcs, duration=200, seed=1)
+        for _, src, dst, _, _ in trace.events:
+            assert src in component and dst in component
+
+    def test_unknown_names_rejected(self):
+        topo = mesh(4, 4)
+        with pytest.raises(ValueError):
+            rodinia_trace("doom", topo, [0])
+        with pytest.raises(ValueError):
+            parsec_trace("doom", topo, [0])
+
+    def test_deterministic(self):
+        topo = mesh(8, 8)
+        mcs = default_memory_controllers(8, 8)
+        a = rodinia_trace("kmeans", topo, mcs, duration=300, seed=9)
+        b = rodinia_trace("kmeans", topo, mcs, duration=300, seed=9)
+        assert a.events == b.events
+
+
+class TestClosedLoop:
+    def _run(self, scheme, topo, transactions=4, seed=1):
+        config = SimConfig(width=topo.width, height=topo.height)
+        mcs = default_memory_controllers(topo.width, topo.height)
+        wl = parsec_closed_loop(
+            "canneal", topo, mcs, seed=seed, transactions_per_core=transactions
+        )
+        net = Network(topo, config, scheme, wl, seed=seed)
+        cycles = run_to_drain(net, 60000)
+        return cycles, net, wl
+
+    def test_all_transactions_complete(self):
+        topo = mesh(4, 4)
+        cycles, net, wl = self._run(MinimalUnprotected(), topo)
+        assert cycles is not None
+        assert wl.completed == wl.total
+        # each transaction = request + reply
+        assert net.stats.packets_ejected == 2 * wl.total
+
+    def test_runtime_scales_with_work(self):
+        topo = mesh(4, 4)
+        short, _, _ = self._run(MinimalUnprotected(), topo, transactions=2)
+        long, _, _ = self._run(MinimalUnprotected(), topo, transactions=8)
+        assert long > short
+
+    def test_runtime_sensitive_to_routing(self):
+        """Non-minimal tree routes must show up as longer runtimes."""
+        topo = inject_link_faults(mesh(6, 6), 8, random.Random(4))
+        fast, _, _ = self._run(MinimalUnprotected(), topo, transactions=6)
+        slow, _, _ = self._run(SpanningTreeAvoidance(), topo, transactions=6)
+        assert slow >= fast
+
+    def test_requires_connected_mc(self):
+        topo = mesh(2, 2)
+        topo.deactivate_link(0, 1)
+        topo.deactivate_link(0, 2)
+        with pytest.raises(ValueError):
+            # MC list = only node 0, which is isolated from the largest
+            # component.
+            ClosedLoopWorkload(
+                PARSEC_CLOSED_SPECS["canneal"], topo, [0], seed=1
+            )
