@@ -39,6 +39,32 @@ def test_step_saturated(benchmark):
     assert net.stats.packets_injected > 0
 
 
+def test_step_idle_network(benchmark):
+    # No traffic at all: the active-router set should make the per-cycle
+    # cost independent of network size (nothing to sweep).
+    topo = mesh(8, 8)
+    net = Network(topo, SimConfig(), make_scheme("static-bubble"), None, seed=1)
+    net.run(50)  # drain the (empty) active set
+    benchmark.pedantic(lambda: net.run(1000), rounds=5, iterations=1)
+    assert net.stats.packets_injected == 0
+
+
+def test_deadlock_monitor_precheck(benchmark):
+    # Steady traffic: the monitor's movement pre-check skips most graph
+    # builds, so interleaved checks stay cheap.
+    from repro.sim.deadlock import DeadlockMonitor
+
+    net = _make_network(rate=0.10)
+    monitor = DeadlockMonitor(interval=16)
+
+    def run_with_monitor():
+        for _ in range(200):
+            net.step()
+            monitor.check(net, net.cycle)
+
+    benchmark.pedantic(run_with_monitor, rounds=3, iterations=1)
+
+
 def test_build_minimal_tables_8x8(benchmark):
     topo = inject_link_faults(mesh(8, 8), 8, random.Random(1))
     tables = benchmark.pedantic(

@@ -104,6 +104,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         getattr(module, name) for name in dir(module) if name.endswith("Params")
     )
     params = params_cls.full() if args.full else params_cls.quick()
+    if args.workers is not None:
+        params.workers = args.workers
     result = module.run(params)
     print(module.report(result))
     return 0
@@ -148,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="paper-scale parameters (hours) instead of quick mode",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sweep "
+        "(default: $REPRO_WORKERS, else cpu_count()-1; 1 = serial)",
     )
     p.set_defaults(func=_cmd_experiment)
 

@@ -49,11 +49,17 @@ class Turn(IntEnum):
     RIGHT = 2
 
 
+#: ``OPPOSITE_PORT[p]`` == ``opposite(Port(p))`` for the compass ports —
+#: a plain tuple lookup for the simulator's inner loops, which would
+#: otherwise pay an enum construction per port per cycle.
+OPPOSITE_PORT = (Port.WEST, Port.SOUTH, Port.EAST, Port.NORTH)
+
+
 def opposite(direction: Port) -> Port:
     """Return the opposite compass direction (East <-> West, ...)."""
     if direction == Port.LOCAL:
         raise ValueError("LOCAL port has no opposite")
-    return Port((direction + 2) % 4)
+    return OPPOSITE_PORT[direction]
 
 
 def rotate_left(direction: Port) -> Port:

@@ -13,8 +13,9 @@ Every experiment module follows the same shape:
 from __future__ import annotations
 
 from statistics import mean
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.parallel import Job, run_jobs
 from repro.protocols import make_scheme
 from repro.sim.config import SimConfig
 from repro.sim.deadlock import DeadlockMonitor
@@ -82,6 +83,23 @@ def run_synthetic(
     return result, network
 
 
+def fan_out(
+    func: Callable,
+    argslist: Sequence[Sequence],
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> List:
+    """Run ``func(*args)`` for each args tuple, fanned over worker processes.
+
+    Thin sweep-shaped wrapper over :func:`repro.parallel.run_jobs`:
+    results come back in ``argslist`` order regardless of worker count, so
+    aggregation code is identical for serial and parallel runs.  ``func``
+    must be a module-level (picklable) callable.
+    """
+    jobs = [Job(func, tuple(args)) for args in argslist]
+    return run_jobs(jobs, workers=workers, progress=progress)
+
+
 def saturation_throughput(
     topo: Topology,
     scheme_name: str,
@@ -97,13 +115,30 @@ def saturation_throughput(
     load until the network saturates; the plateau/peak is the saturation
     throughput.  Sweeping past the knee and taking the max is robust to
     post-saturation degradation.
+
+    Early exit: ``rates`` is swept in the given (ascending) order, and the
+    sweep stops once accepted throughput has *declined* for two consecutive
+    rates — past the knee, higher offered load only deepens congestion, so
+    the remaining (most expensive, most saturated) points cannot raise the
+    max.  Two consecutive declines are required so that one noisy
+    measurement near the knee does not truncate the sweep.
     """
     best = 0.0
+    prev = None
+    declines = 0
     for rate in rates:
         result, _ = run_synthetic(
             topo, scheme_name, "uniform_random", rate, config, warmup, measure, seed
         )
-        best = max(best, result.throughput_flits_node_cycle)
+        accepted = result.throughput_flits_node_cycle
+        best = max(best, accepted)
+        if prev is not None and accepted < prev:
+            declines += 1
+            if declines >= 2:
+                break
+        else:
+            declines = 0
+        prev = accepted
     return best
 
 

@@ -11,11 +11,17 @@ leakage grows as a fraction at high fault counts as dynamic energy dips.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.energy.model import EnergyModel
-from repro.experiments.common import SCHEME_ORDER, run_synthetic, topologies_for
+from repro.experiments.common import (
+    SCHEME_ORDER,
+    fan_out,
+    run_synthetic,
+    topologies_for,
+)
 from repro.sim.config import SimConfig
+from repro.topology.mesh import Topology
 from repro.utils.reporting import Reporter
 
 
@@ -29,6 +35,8 @@ class Fig10Params:
     seed: int = 42
     warmup: int = 300
     measure: int = 1000
+    #: Worker processes for the sweep (None -> REPRO_WORKERS / cpu-1).
+    workers: Optional[int] = None
 
     @classmethod
     def quick(cls) -> "Fig10Params":
@@ -50,31 +58,52 @@ class Fig10Result:
         return self.energy[(count, scheme)]["total"] / base if base else 1.0
 
 
+def _energy_breakdown(
+    topo: Topology,
+    scheme: str,
+    rate: float,
+    config: SimConfig,
+    warmup: int,
+    measure: int,
+    seed: int,
+) -> Dict[str, float]:
+    """Simulate one point and return its energy breakdown (picklable)."""
+    _, network = run_synthetic(
+        topo, scheme, "uniform_random", rate, config, warmup, measure, seed
+    )
+    return EnergyModel().network_energy(network).as_dict()
+
+
 def run(params: Fig10Params) -> Fig10Result:
     config = SimConfig(width=params.width, height=params.height)
-    model = EnergyModel()
     energy: Dict[Tuple[int, str], Dict[str, float]] = {}
+    keys: List[Tuple[int, str]] = []
+    argslist: List[tuple] = []
+    sizes: Dict[Tuple[int, str], int] = {}
     for count in params.router_fault_counts:
         topos = topologies_for(
             params.width, params.height, "router", count, params.samples, params.seed
         )
         for scheme in SCHEME_ORDER:
-            acc: Dict[str, float] = {}
+            sizes[(count, scheme)] = len(topos)
             for i, topo in enumerate(topos):
-                _, network = run_synthetic(
-                    topo,
-                    scheme,
-                    "uniform_random",
-                    params.rate,
-                    config,
-                    params.warmup,
-                    params.measure,
-                    seed=params.seed + i,
+                keys.append((count, scheme))
+                argslist.append(
+                    (
+                        topo,
+                        scheme,
+                        params.rate,
+                        config,
+                        params.warmup,
+                        params.measure,
+                        params.seed + i,
+                    )
                 )
-                breakdown = model.network_energy(network).as_dict()
-                for key, value in breakdown.items():
-                    acc[key] = acc.get(key, 0.0) + value / len(topos)
-            energy[(count, scheme)] = acc
+    outcomes = fan_out(_energy_breakdown, argslist, workers=params.workers)
+    for key, breakdown in zip(keys, outcomes):
+        acc = energy.setdefault(key, {})
+        for component, value in breakdown.items():
+            acc[component] = acc.get(component, 0.0) + value / sizes[key]
     return Fig10Result(params, energy)
 
 

@@ -14,12 +14,13 @@ detection).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.common import safe_mean, topologies_for
+from repro.experiments.common import fan_out, safe_mean, topologies_for
 from repro.protocols import StaticBubbleScheme
 from repro.sim.config import SimConfig
 from repro.sim.network import Network
+from repro.topology.mesh import Topology
 from repro.traffic.synthetic import UniformRandomTraffic
 from repro.utils.reporting import Reporter
 
@@ -34,6 +35,8 @@ class Fig11Params:
     samples: int = 2
     seed: int = 42
     cycles: int = 3000
+    #: Worker processes for the sweep (None -> REPRO_WORKERS / cpu-1).
+    workers: Optional[int] = None
 
     @classmethod
     def quick(cls) -> "Fig11Params":
@@ -61,6 +64,27 @@ class Fig11Result:
     latency: Dict[int, float]
 
 
+def _tdd_point(
+    topo: Topology,
+    t_dd: int,
+    rate: float,
+    config: SimConfig,
+    cycles: int,
+    seed: int,
+) -> Tuple[float, Dict[str, float], Optional[float]]:
+    """One (topology, t_DD) run: (probes, per-class link share, latency)."""
+    traffic = UniformRandomTraffic(topo, rate=rate, seed=seed)
+    network = Network(topo, config, StaticBubbleScheme(t_dd=t_dd), traffic, seed=seed)
+    network.run(cycles)
+    stats = network.stats
+    lat = stats.avg_latency if stats.packets_ejected else None
+    return (
+        float(stats.probes_sent),
+        dict(stats.link_utilization_by_class()),
+        lat,
+    )
+
+
 def run(params: Fig11Params) -> Fig11Result:
     config = SimConfig(width=params.width, height=params.height)
     topos = topologies_for(
@@ -71,26 +95,24 @@ def run(params: Fig11Params) -> Fig11Result:
         params.samples,
         params.seed,
     )
+    keys: List[int] = []
+    argslist: List[tuple] = []
+    for t_dd in params.t_dd_values:
+        for i, topo in enumerate(topos):
+            keys.append(t_dd)
+            argslist.append(
+                (topo, t_dd, params.rate, config, params.cycles, params.seed + i)
+            )
+    outcomes = fan_out(_tdd_point, argslist, workers=params.workers)
     probes: Dict[int, List[float]] = {}
     shares: Dict[Tuple[int, str], List[float]] = {}
     latency: Dict[int, List[float]] = {}
-    for t_dd in params.t_dd_values:
-        for i, topo in enumerate(topos):
-            traffic = UniformRandomTraffic(topo, rate=params.rate, seed=params.seed + i)
-            network = Network(
-                topo,
-                config,
-                StaticBubbleScheme(t_dd=t_dd),
-                traffic,
-                seed=params.seed + i,
-            )
-            network.run(params.cycles)
-            stats = network.stats
-            probes.setdefault(t_dd, []).append(float(stats.probes_sent))
-            for cls, share in stats.link_utilization_by_class().items():
-                shares.setdefault((t_dd, cls), []).append(share)
-            if stats.packets_ejected:
-                latency.setdefault(t_dd, []).append(stats.avg_latency)
+    for t_dd, (n_probes, share_by_class, lat) in zip(keys, outcomes):
+        probes.setdefault(t_dd, []).append(n_probes)
+        for cls, share in share_by_class.items():
+            shares.setdefault((t_dd, cls), []).append(share)
+        if lat is not None:
+            latency.setdefault(t_dd, []).append(lat)
     return Fig11Result(
         params,
         probes={t: safe_mean(v) for t, v in probes.items()},

@@ -12,9 +12,14 @@ little path diversity survives.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.common import SCHEME_ORDER, safe_mean, topologies_for
+from repro.experiments.common import (
+    SCHEME_ORDER,
+    fan_out,
+    safe_mean,
+    topologies_for,
+)
 from repro.protocols import make_scheme
 from repro.sim.config import SimConfig
 from repro.sim.engine import run_to_drain
@@ -37,6 +42,8 @@ class Fig12Params:
     seed: int = 42
     trace_duration: int = 1200
     max_cycles: int = 40000
+    #: Worker processes for the sweep (None -> REPRO_WORKERS / cpu-1).
+    workers: Optional[int] = None
 
     @classmethod
     def quick(cls) -> "Fig12Params":
@@ -89,7 +96,8 @@ def _app_throughput(topo, workload, scheme_name, params, config, seed) -> float:
 def run(params: Fig12Params) -> Fig12Result:
     config = SimConfig(width=params.width, height=params.height)
     mcs = default_memory_controllers(params.width, params.height)
-    throughput: Dict[Tuple[str, str, int, str], float] = {}
+    keys: List[Tuple[str, str, int, str]] = []
+    argslist: List[tuple] = []
     for kind, counts in (
         ("link", params.link_fault_counts),
         ("router", params.router_fault_counts),
@@ -106,13 +114,16 @@ def run(params: Fig12Params) -> Fig12Result:
             )
             for workload in params.workloads:
                 for scheme in SCHEME_ORDER:
-                    values = [
-                        _app_throughput(
-                            topo, workload, scheme, params, config, params.seed + i
+                    for i, topo in enumerate(topos):
+                        keys.append((workload, kind, count, scheme))
+                        argslist.append(
+                            (topo, workload, scheme, params, config, params.seed + i)
                         )
-                        for i, topo in enumerate(topos)
-                    ]
-                    throughput[(workload, kind, count, scheme)] = safe_mean(values)
+    outcomes = fan_out(_app_throughput, argslist, workers=params.workers)
+    by_key: Dict[Tuple[str, str, int, str], List[float]] = {}
+    for key, value in zip(keys, outcomes):
+        by_key.setdefault(key, []).append(value)
+    throughput = {key: safe_mean(values) for key, values in by_key.items()}
     return Fig12Result(params, throughput)
 
 

@@ -12,16 +12,22 @@ tree and ~17% lower than escape VC (fewer buffers leaking).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.energy.edp import network_edp
 from repro.energy.model import EnergyModel
-from repro.experiments.common import SCHEME_ORDER, safe_mean, topologies_for
+from repro.experiments.common import (
+    SCHEME_ORDER,
+    fan_out,
+    safe_mean,
+    topologies_for,
+)
 from repro.protocols import make_scheme
 from repro.sim.config import SimConfig
 from repro.sim.engine import run_to_drain
 from repro.sim.network import Network
 from repro.topology.faults import default_memory_controllers
+from repro.topology.mesh import Topology
 from repro.traffic.workloads import parsec_closed_loop
 from repro.utils.reporting import Reporter
 
@@ -38,6 +44,8 @@ class Fig13Params:
     seed: int = 42
     transactions_per_core: int = 8
     max_cycles: int = 60000
+    #: Worker processes for the sweep (None -> REPRO_WORKERS / cpu-1).
+    workers: Optional[int] = None
 
     @classmethod
     def quick(cls) -> "Fig13Params":
@@ -64,10 +72,30 @@ class Fig13Result:
         return self.edp[(workload, scheme)] / base if base else 1.0
 
 
+def _parsec_point(
+    topo: Topology,
+    workload: str,
+    scheme: str,
+    mcs: List[int],
+    config: SimConfig,
+    transactions_per_core: int,
+    max_cycles: int,
+    seed: int,
+) -> Tuple[float, float]:
+    """One run-to-drain: (runtime cycles, network EDP).  Picklable."""
+    traffic = parsec_closed_loop(
+        workload, topo, mcs, seed=seed, transactions_per_core=transactions_per_core
+    )
+    network = Network(topo, config, make_scheme(scheme), traffic, seed=seed)
+    cycles = run_to_drain(network, max_cycles)
+    if cycles is None:
+        cycles = max_cycles
+    return float(cycles), network_edp(network, cycles, EnergyModel())
+
+
 def run(params: Fig13Params) -> Fig13Result:
     config = SimConfig(width=params.width, height=params.height)
     mcs = default_memory_controllers(params.width, params.height)
-    model = EnergyModel()
     topos = topologies_for(
         params.width,
         params.height,
@@ -77,31 +105,32 @@ def run(params: Fig13Params) -> Fig13Result:
         params.seed,
         require_mcs=mcs,
     )
-    runtime: Dict[Tuple[str, str], List[float]] = {}
-    edp: Dict[Tuple[str, str], List[float]] = {}
-    out_rt: Dict[Tuple[str, str], float] = {}
-    out_edp: Dict[Tuple[str, str], float] = {}
+    keys: List[Tuple[str, str]] = []
+    argslist: List[tuple] = []
     for workload in params.workloads:
         for scheme in SCHEME_ORDER:
-            rts, edps = [], []
             for i, topo in enumerate(topos):
-                traffic = parsec_closed_loop(
-                    workload,
-                    topo,
-                    mcs,
-                    seed=params.seed + i,
-                    transactions_per_core=params.transactions_per_core,
+                keys.append((workload, scheme))
+                argslist.append(
+                    (
+                        topo,
+                        workload,
+                        scheme,
+                        mcs,
+                        config,
+                        params.transactions_per_core,
+                        params.max_cycles,
+                        params.seed + i,
+                    )
                 )
-                network = Network(
-                    topo, config, make_scheme(scheme), traffic, seed=params.seed + i
-                )
-                cycles = run_to_drain(network, params.max_cycles)
-                if cycles is None:
-                    cycles = params.max_cycles
-                rts.append(float(cycles))
-                edps.append(network_edp(network, cycles, model))
-            out_rt[(workload, scheme)] = safe_mean(rts)
-            out_edp[(workload, scheme)] = safe_mean(edps)
+    outcomes = fan_out(_parsec_point, argslist, workers=params.workers)
+    rts: Dict[Tuple[str, str], List[float]] = {}
+    edps: Dict[Tuple[str, str], List[float]] = {}
+    for key, (cycles, point_edp) in zip(keys, outcomes):
+        rts.setdefault(key, []).append(cycles)
+        edps.setdefault(key, []).append(point_edp)
+    out_rt = {key: safe_mean(values) for key, values in rts.items()}
+    out_edp = {key: safe_mean(values) for key, values in edps.items()}
     return Fig13Result(params, out_rt, out_edp)
 
 

@@ -20,9 +20,9 @@ become trees).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.experiments.common import topologies_for
+from repro.experiments.common import fan_out, topologies_for
 from repro.protocols import MinimalUnprotected
 from repro.sim.config import SimConfig
 from repro.sim.engine import deadlocks_within
@@ -44,6 +44,8 @@ class Fig2Params:
     sim_cycles: int = 2000
     sim_rate: float = 1.0
     vcs_per_vnet: int = 2
+    #: Worker processes for the sweep (None -> REPRO_WORKERS / cpu-1).
+    workers: Optional[int] = None
 
     @classmethod
     def quick(cls) -> "Fig2Params":
@@ -83,6 +85,12 @@ def _is_deadlock_prone_sim(topo, params: Fig2Params) -> bool:
 
 def run(params: Fig2Params) -> Fig2Result:
     series: Dict[str, Dict[int, float]] = {"link": {}, "router": {}}
+    # Fan one deadlock-proneness check per sampled topology.  The graph
+    # method is cheap enough that the serial path wins; the sim method
+    # profits from worker processes.
+    keys: List[tuple] = []
+    argslist: List[tuple] = []
+    totals: Dict[tuple, int] = {}
     for kind, counts in (
         ("link", params.link_fault_counts),
         ("router", params.router_fault_counts),
@@ -91,11 +99,19 @@ def run(params: Fig2Params) -> Fig2Result:
             topos = topologies_for(
                 params.width, params.height, kind, count, params.samples, params.seed
             )
-            if params.method == "graph":
-                prone = sum(1 for t in topos if tgraph.has_cycle(t))
-            else:
-                prone = sum(1 for t in topos if _is_deadlock_prone_sim(t, params))
-            series[kind][count] = 100.0 * prone / len(topos)
+            totals[(kind, count)] = len(topos)
+            for topo in topos:
+                keys.append((kind, count))
+                argslist.append((topo, params))
+    if params.method == "graph":
+        outcomes = [tgraph.has_cycle(topo) for topo, _ in argslist]
+    else:
+        outcomes = fan_out(_is_deadlock_prone_sim, argslist, workers=params.workers)
+    prone: Dict[tuple, int] = {}
+    for key, is_prone in zip(keys, outcomes):
+        prone[key] = prone.get(key, 0) + (1 if is_prone else 0)
+    for (kind, count), total in totals.items():
+        series[kind][count] = 100.0 * prone.get((kind, count), 0) / total
     return Fig2Result(params, series["link"], series["router"])
 
 

@@ -12,15 +12,17 @@ their advantage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.common import (
     SCHEME_ORDER,
+    fan_out,
     run_synthetic,
     safe_mean,
     topologies_for,
 )
 from repro.sim.config import SimConfig
+from repro.topology.mesh import Topology
 from repro.utils.reporting import Reporter
 
 
@@ -38,6 +40,8 @@ class Fig8Params:
     seed: int = 42
     warmup: int = 400
     measure: int = 1000
+    #: Worker processes for the sweep (None -> REPRO_WORKERS / cpu-1).
+    workers: Optional[int] = None
 
     @classmethod
     def quick(cls) -> "Fig8Params":
@@ -71,9 +75,30 @@ class Fig8Result:
         return self.latency[(pattern, kind, count, scheme)] / base if base else 1.0
 
 
+def _measure_latency(
+    topo: Topology,
+    scheme: str,
+    pattern: str,
+    rate: float,
+    config: SimConfig,
+    warmup: int,
+    measure: int,
+    seed: int,
+) -> Tuple[float, int]:
+    """One sweep point (module-level so it pickles to worker processes)."""
+    result, _ = run_synthetic(
+        topo, scheme, pattern, rate, config, warmup, measure, seed
+    )
+    return result.avg_latency, result.packets_ejected
+
+
 def run(params: Fig8Params) -> Fig8Result:
     config = SimConfig(width=params.width, height=params.height)
-    latency: Dict[Tuple[str, str, int, str], float] = {}
+    # Enumerate every sweep point up front, fan it over workers, then
+    # aggregate — results come back in argslist order, so the means are
+    # bit-identical to the old nested-loop serial run.
+    keys: List[Tuple[str, str, int, str]] = []
+    argslist: List[tuple] = []
     for kind, counts in (
         ("link", params.link_fault_counts),
         ("router", params.router_fault_counts),
@@ -84,21 +109,27 @@ def run(params: Fig8Params) -> Fig8Result:
             )
             for pattern in params.patterns:
                 for scheme in SCHEME_ORDER:
-                    values = []
                     for i, topo in enumerate(topos):
-                        result, _ = run_synthetic(
-                            topo,
-                            scheme,
-                            pattern,
-                            params.rate,
-                            config,
-                            params.warmup,
-                            params.measure,
-                            seed=params.seed + i,
+                        keys.append((pattern, kind, count, scheme))
+                        argslist.append(
+                            (
+                                topo,
+                                scheme,
+                                pattern,
+                                params.rate,
+                                config,
+                                params.warmup,
+                                params.measure,
+                                params.seed + i,
+                            )
                         )
-                        if result.packets_ejected:
-                            values.append(result.avg_latency)
-                    latency[(pattern, kind, count, scheme)] = safe_mean(values)
+    outcomes = fan_out(_measure_latency, argslist, workers=params.workers)
+    by_key: Dict[Tuple[str, str, int, str], List[float]] = {}
+    for key, (avg_latency, ejected) in zip(keys, outcomes):
+        by_key.setdefault(key, [])
+        if ejected:
+            by_key[key].append(avg_latency)
+    latency = {key: safe_mean(values) for key, values in by_key.items()}
     return Fig8Result(params, latency)
 
 

@@ -12,10 +12,11 @@ diversity left.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.common import (
     SCHEME_ORDER,
+    fan_out,
     safe_mean,
     saturation_throughput,
     topologies_for,
@@ -35,6 +36,8 @@ class Fig9Params:
     seed: int = 42
     warmup: int = 300
     measure: int = 700
+    #: Worker processes for the sweep (None -> REPRO_WORKERS / cpu-1).
+    workers: Optional[int] = None
 
     @classmethod
     def quick(cls) -> "Fig9Params":
@@ -69,7 +72,10 @@ class Fig9Result:
 
 def run(params: Fig9Params) -> Fig9Result:
     config = SimConfig(width=params.width, height=params.height)
-    throughput: Dict[Tuple[str, int, str], float] = {}
+    # One job per (topology, scheme): a whole offered-load sweep, fanned
+    # over workers; aggregation order matches the old serial loops.
+    keys: List[Tuple[str, int, str]] = []
+    argslist: List[tuple] = []
     for kind, counts in (
         ("link", params.link_fault_counts),
         ("router", params.router_fault_counts),
@@ -79,19 +85,24 @@ def run(params: Fig9Params) -> Fig9Result:
                 params.width, params.height, kind, count, params.samples, params.seed
             )
             for scheme in SCHEME_ORDER:
-                values = [
-                    saturation_throughput(
-                        topo,
-                        scheme,
-                        config,
-                        params.rates,
-                        params.warmup,
-                        params.measure,
-                        seed=params.seed + i,
+                for i, topo in enumerate(topos):
+                    keys.append((kind, count, scheme))
+                    argslist.append(
+                        (
+                            topo,
+                            scheme,
+                            config,
+                            params.rates,
+                            params.warmup,
+                            params.measure,
+                            params.seed + i,
+                        )
                     )
-                    for i, topo in enumerate(topos)
-                ]
-                throughput[(kind, count, scheme)] = safe_mean(values)
+    outcomes = fan_out(saturation_throughput, argslist, workers=params.workers)
+    by_key: Dict[Tuple[str, int, str], List[float]] = {}
+    for key, value in zip(keys, outcomes):
+        by_key.setdefault(key, []).append(value)
+    throughput = {key: safe_mean(values) for key, values in by_key.items()}
     return Fig9Result(params, throughput)
 
 

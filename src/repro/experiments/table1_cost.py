@@ -10,10 +10,11 @@ the qualitative rows (operating mode, pre/post-deadlock routing).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.placement import bubble_count
 from repro.energy.model import EnergyModel
+from repro.experiments.common import fan_out
 from repro.protocols import StaticBubbleScheme
 from repro.sim.config import SimConfig
 from repro.utils.reporting import Reporter
@@ -42,6 +43,8 @@ class Table1Params:
     #: The paper's Table II router: 3 message classes x 4 VCs per port.
     vnets: int = 3
     vcs_per_vnet: int = 4
+    #: Worker processes for the sweep (None -> REPRO_WORKERS / cpu-1).
+    workers: Optional[int] = None
 
     @classmethod
     def quick(cls) -> "Table1Params":
@@ -61,27 +64,34 @@ class Table1Result:
     area_overhead: Dict[Tuple[int, int], Tuple[float, float]]
 
 
-def run(params: Table1Params) -> Table1Result:
+def _mesh_cost(
+    width: int, height: int, vnets: int, vcs_per_vnet: int
+) -> Tuple[Tuple[int, int], Tuple[float, float]]:
+    """Buffer and area accounting for one mesh size (picklable)."""
     model = EnergyModel()
+    config = SimConfig(
+        width=width, height=height, vnets=vnets, vcs_per_vnet=vcs_per_vnet
+    )
+    sb_buffers = bubble_count(width, height)
+    # Table I counts escape buffers per message class: n*m*5.
+    evc_buffers = width * height * 5
+    num_routers = width * height
+    sb_overhead = model.area_overhead(config, StaticBubbleScheme(), num_routers)
+    evc_overhead = model.area_overhead(config, _EscapeAreaScheme(vnets), num_routers)
+    return (sb_buffers, evc_buffers), (sb_overhead, evc_overhead)
+
+
+def run(params: Table1Params) -> Table1Result:
+    argslist = [
+        (width, height, params.vnets, params.vcs_per_vnet)
+        for width, height in params.mesh_sizes
+    ]
+    outcomes = fan_out(_mesh_cost, argslist, workers=params.workers)
     buffers: Dict[Tuple[int, int], Tuple[int, int]] = {}
     overhead: Dict[Tuple[int, int], Tuple[float, float]] = {}
-    for width, height in params.mesh_sizes:
-        config = SimConfig(
-            width=width,
-            height=height,
-            vnets=params.vnets,
-            vcs_per_vnet=params.vcs_per_vnet,
-        )
-        sb_buffers = bubble_count(width, height)
-        # Table I counts escape buffers per message class: n*m*5.
-        evc_buffers = width * height * 5
-        buffers[(width, height)] = (sb_buffers, evc_buffers)
-        num_routers = width * height
-        sb_overhead = model.area_overhead(config, StaticBubbleScheme(), num_routers)
-        evc_overhead = model.area_overhead(
-            config, _EscapeAreaScheme(params.vnets), num_routers
-        )
-        overhead[(width, height)] = (sb_overhead, evc_overhead)
+    for (width, height), (bufs, ovh) in zip(params.mesh_sizes, outcomes):
+        buffers[(width, height)] = bufs
+        overhead[(width, height)] = ovh
     return Table1Result(params, buffers, overhead)
 
 

@@ -1,0 +1,19 @@
+"""Parallel experiment execution (process-pool sweep fan-out)."""
+
+from repro.parallel.pool import (
+    Job,
+    WORKERS_ENV_VAR,
+    default_workers,
+    job_seed,
+    resolve_workers,
+    run_jobs,
+)
+
+__all__ = [
+    "Job",
+    "WORKERS_ENV_VAR",
+    "default_workers",
+    "job_seed",
+    "resolve_workers",
+    "run_jobs",
+]

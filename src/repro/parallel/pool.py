@@ -1,0 +1,155 @@
+"""Process-pool experiment executor.
+
+Every paper figure sweeps hundreds of fully independent simulations —
+``(topology sample x scheme x injection rate x seed)`` — so the sweeps
+parallelize embarrassingly well over a process pool (PPT-style
+discrete-event parallelism: independent sub-workloads, no shared state).
+This module is the one place that owns that machinery:
+
+* :class:`Job` — a picklable ``(func, args, kwargs)`` work unit;
+* :func:`run_jobs` — execute a job list over ``workers`` processes,
+  preserving submission order, with chunked dispatch, an optional
+  per-completion progress callback, and a graceful serial fallback
+  (``workers=1``, unpicklable jobs, or pools being unavailable in the
+  host environment);
+* :func:`resolve_workers` — the worker-count policy: explicit argument,
+  else the ``REPRO_WORKERS`` environment variable, else
+  ``os.cpu_count() - 1`` (always at least 1);
+* :func:`job_seed` — deterministic per-job seed derivation, so a job's
+  RNG stream depends only on its identity, never on scheduling order.
+
+Determinism: jobs are pure functions of their arguments (every seed is
+part of the job spec) and results are returned in submission order, so a
+parallel run is bit-identical to a serial run of the same job list.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.utils.rng import derive_seed
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work: ``func(*args, **kwargs)``.
+
+    ``func`` must be picklable (a module-level function) for the job to
+    run in a worker process; unpicklable jobs silently take the serial
+    path instead.
+    """
+
+    func: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self) -> Any:
+        return self.func(*self.args, **self.kwargs)
+
+
+def _call_job(job: Job) -> Any:
+    """Top-level trampoline executed inside worker processes."""
+    return job.run()
+
+
+def job_seed(base_seed: int, *labels: object) -> int:
+    """Deterministic per-job seed: a pure function of identity labels.
+
+    Include every axis that distinguishes the job (figure, fault count,
+    scheme, sample index, ...) so that reordering or re-chunking the job
+    list can never change any job's RNG stream.
+    """
+    return derive_seed(base_seed, "job", *labels)
+
+
+def default_workers() -> int:
+    """``REPRO_WORKERS`` if set and valid, else ``os.cpu_count() - 1``."""
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve an explicit/None worker count to a concrete value >= 1."""
+    if workers is None:
+        return default_workers()
+    return max(1, workers)
+
+
+def _run_serial(jobs: Sequence[Job], progress) -> List[Any]:
+    results = []
+    total = len(jobs)
+    for i, job in enumerate(jobs):
+        results.append(job.run())
+        if progress is not None:
+            progress(i + 1, total)
+    return results
+
+
+def _picklable(jobs: Sequence[Job]) -> bool:
+    try:
+        pickle.dumps(jobs)
+        return True
+    except Exception:
+        return False
+
+
+def _pool_context():
+    """Prefer fork (cheap, no re-import) where the platform offers it."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_jobs(
+    jobs: Iterable[Job],
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    chunksize: Optional[int] = None,
+) -> List[Any]:
+    """Run every job; return their results in submission order.
+
+    * ``workers``: process count; ``None`` defers to
+      :func:`resolve_workers` (``REPRO_WORKERS`` / ``cpu_count - 1``).
+      ``workers=1`` runs serially in-process with no pool at all.
+    * ``progress``: called as ``progress(done, total)`` after each job
+      completes (in completion order under a pool, which equals
+      submission order because results stream through ``imap``).
+    * ``chunksize``: jobs dispatched per worker task; defaults to
+      ``len(jobs) // (workers * 4)`` (at least 1) so long sweeps
+      amortize IPC while short ones still load-balance.
+
+    Serial fallbacks (all produce identical results): a single job,
+    ``workers=1``, unpicklable jobs, or a host that cannot create a
+    process pool (sandboxes without semaphore support).
+    """
+    jobs = list(jobs)
+    total = len(jobs)
+    if total == 0:
+        return []
+    n = min(resolve_workers(workers), total)
+    if n <= 1 or not _picklable(jobs):
+        return _run_serial(jobs, progress)
+    if chunksize is None:
+        chunksize = max(1, total // (n * 4))
+    try:
+        pool = _pool_context().Pool(processes=n)
+    except (OSError, PermissionError, ImportError):
+        return _run_serial(jobs, progress)
+    with pool:
+        results: List[Any] = []
+        for i, result in enumerate(pool.imap(_call_job, jobs, chunksize)):
+            results.append(result)
+            if progress is not None:
+                progress(i + 1, total)
+    return results

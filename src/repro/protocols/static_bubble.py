@@ -184,6 +184,7 @@ class StaticBubbleScheme(DeadlockScheme):
                 vc.ready_at = now + 1
                 bubble.packet = None
                 bubble.free_at = now + 1
+                router.invalidate_vc_cache()
                 self.on_bubble_drained(network, router, now)
                 return
 
@@ -441,7 +442,7 @@ class StaticBubbleScheme(DeadlockScheme):
                 return []
         # Probe Fork Unit: forward only if every VC at the probed input
         # port is occupied; fork to the union of their requested outputs.
-        vcs = list(router.port_vcs(in_port))
+        vcs = router.cached_port_vcs(in_port)
         if not vcs or any(vc.packet is None for vc in vcs):
             return []
         if msg.at_capacity():

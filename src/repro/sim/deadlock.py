@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
-from repro.core.turns import Port, opposite
+from repro.core.turns import OPPOSITE_PORT, Port
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network
@@ -45,11 +45,11 @@ def find_wait_cycle(network: "Network", now: int) -> Optional[List[int]]:
             if link is None:
                 continue  # stuck on a dead link: a routing bug, not deadlock
             downstream = network.router_at(link.dest_node)
-            in_port = opposite(Port(out))
+            in_port = OPPOSITE_PORT[out]
             waits_on: List[int] = []
             blocked = True
             wanted_kind = 1 if packet.is_escape else 0  # VC_ESCAPE / VC_NORMAL
-            for cand in downstream.port_vcs(in_port):
+            for cand in downstream.cached_port_vcs(in_port):
                 if cand.kind == 2:  # bubble: usable by normal packets
                     usable = not packet.is_escape
                 elif cand.kind == wanted_kind and cand.vnet == packet.vnet:
@@ -77,6 +77,8 @@ def _find_cycle(adjacency: Dict[int, List[int]]) -> Optional[List[int]]:
             continue
         stack: List[tuple] = [(start, iter(adjacency[start]))]
         path: List[int] = [start]
+        #: pid -> position in ``path`` (O(1) cycle slicing on GRAY hits).
+        pos: Dict[int, int] = {start: 0}
         color[start] = GRAY
         while stack:
             node, it = stack[-1]
@@ -86,11 +88,11 @@ def _find_cycle(adjacency: Dict[int, List[int]]) -> Optional[List[int]]:
                     continue  # waits on a packet that is itself unblocked
                 if color[nxt] == GRAY:
                     # cycle: slice the current path from nxt onward
-                    idx = path.index(nxt)
-                    return path[idx:]
+                    return path[pos[nxt]:]
                 if color[nxt] == WHITE:
                     color[nxt] = GRAY
                     stack.append((nxt, iter(adjacency[nxt])))
+                    pos[nxt] = len(path)
                     path.append(nxt)
                     advanced = True
                     break
@@ -98,6 +100,7 @@ def _find_cycle(adjacency: Dict[int, List[int]]) -> Optional[List[int]]:
                 color[node] = BLACK
                 stack.pop()
                 path.pop()
+                del pos[node]
     return None
 
 
@@ -106,20 +109,37 @@ class DeadlockMonitor:
 
     ``interval`` spaces out the (O(VCs)) graph construction; the cheap
     progress pre-check (`no transfer since last check`) skips the build
-    entirely while traffic is flowing.
+    entirely while traffic is flowing.  Movement does not *prove* the
+    absence of a deadlock (a partial deadlock coexists with live traffic
+    elsewhere), so after ``max_skips`` consecutive movement-skips the
+    graph is built regardless — detection latency is bounded by
+    ``(max_skips + 1) * interval`` cycles.
     """
 
-    def __init__(self, interval: int = 64) -> None:
+    def __init__(self, interval: int = 64, max_skips: int = 2) -> None:
         self.interval = interval
+        self.max_skips = max_skips
         self.deadlocked_pids: Set[int] = set()
         self.first_deadlock_cycle: Optional[int] = None
         self._last_check = 0
+        self._last_crossbar_flits: Optional[int] = None
+        self._skips = 0
 
     def check(self, network: "Network", now: int) -> bool:
         """Run the detector if due; True iff a (new or old) cycle exists."""
         if now - self._last_check < self.interval:
             return False
         self._last_check = now
+        flits = network.stats.crossbar_flits
+        moved = (
+            self._last_crossbar_flits is not None
+            and flits != self._last_crossbar_flits
+        )
+        self._last_crossbar_flits = flits
+        if moved and self._skips < self.max_skips:
+            self._skips += 1
+            return False
+        self._skips = 0
         cycle = find_wait_cycle(network, now)
         if cycle is None:
             return False

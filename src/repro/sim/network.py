@@ -15,10 +15,10 @@ Per-cycle order (one ``step()``):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.messages import MsgType, SpecialMessage
-from repro.core.turns import Port, opposite
+from repro.core.turns import OPPOSITE_PORT, Port
 from repro.sim.config import SimConfig
 from repro.sim.ni import NetworkInterface
 from repro.sim.packet import Packet
@@ -62,6 +62,17 @@ class Network:
         for node in topo.active_nodes():
             self.routers[node] = Router(node, config.vnets, config.vcs_per_vnet)
         self._router_list: List[Router] = list(self.routers.values())
+
+        #: Nodes whose router currently holds (or just received) a packet.
+        #: Routers enter on injection/arrival (via the occupancy wake hook)
+        #: and leave lazily when the allocation sweep sees ``occupancy == 0``
+        #: — so switch allocation skips idle routers without a full scan.
+        self._active_nodes: Set[int] = set()
+        for router in self._router_list:
+            router._wake = self._active_nodes.add
+        #: Verification escape hatch: force the pre-active-set full scan of
+        #: every router each cycle (bit-identical results, slower).
+        self.full_scan = False
 
         # Output links (ejection link on every router; inter-router links
         # only where the topology is active).
@@ -131,7 +142,7 @@ class Network:
         self.stats.link_special_cycles[_SPECIAL_STAT_KEY[msg.mtype]] += 1
         arrival = self.cycle + 2
         self._special_arrivals.setdefault(arrival, []).append(
-            (link.dest_node, opposite(Port(out_port)), msg)
+            (link.dest_node, OPPOSITE_PORT[out_port], msg)
         )
         return True
 
@@ -154,9 +165,23 @@ class Network:
         self._inject_traffic(now)
         for ni in self._ni_list:
             ni.try_inject(now)
-        for router in self._router_list:
-            if router.occupancy:
-                self._allocate_router(router, now)
+        if self.full_scan:
+            for router in self._router_list:
+                if router._occupancy:
+                    self._allocate_router(router, now)
+        elif self._active_nodes:
+            # Node order matches the full scan (active_nodes() ascends),
+            # so both paths are bit-identical.  Routers drained to zero
+            # are evicted here; mid-sweep arrivals re-wake their router
+            # for the next cycle (their packets are not yet switchable).
+            active = self._active_nodes
+            routers = self.routers
+            for node in sorted(active):
+                router = routers[node]
+                if router._occupancy:
+                    self._allocate_router(router, now)
+                else:
+                    active.discard(node)
         self.scheme.on_cycle(self, now)
         self.stats.cycles += 1
         self.cycle += 1
@@ -180,36 +205,50 @@ class Network:
     def _allocate_router(self, router: Router, now: int) -> None:
         requests: List[Tuple[int, VirtualChannel, Packet, int, object]] = []
         # Input arbitration: one candidate VC per input port (round-robin).
+        # This is the simulator's hottest loop — it runs once per occupied
+        # router per cycle — so it works off the router's cached per-port
+        # VC tuples and plain-int port arithmetic (no enum construction).
+        routers = self.routers
+        vc_cache = router._vc_cache
+        in_rr = router._in_rr
+        output_links = router.output_links
+        restricted = router.is_deadlock
         for port in range(5):
-            vcs = list(router.port_vcs(port))
+            vcs = vc_cache[port]
+            if vcs is None:
+                vcs = router.cached_port_vcs(port)
             n = len(vcs)
             if n == 0:
                 continue
-            start = router._in_rr[port] % n
-            chosen = None
+            start = in_rr[port] % n
             for k in range(n):
                 vc = vcs[(start + k) % n]
-                if not vc.has_switchable_packet(now):
-                    continue
                 packet = vc.packet
-                out = router._requested_output(packet)
-                link = router.output_links[out]
-                if link is None or not link.is_free(now):
+                if packet is None or now < vc.ready_at:
                     continue
-                if not router.injection_allowed(port, out):
+                if packet.is_escape:
+                    out = router._requested_output(packet)
+                else:
+                    out = packet.route[packet.hop]
+                link = output_links[out]
+                if (
+                    link is None
+                    or now < link.busy_until
+                    or link.special_blocked_at == now
+                ):
                     continue
-                if out == Port.LOCAL:
+                if restricted and not router.injection_allowed(port, out):
+                    continue
+                if out == 4:  # Port.LOCAL
                     target = None
                 else:
-                    downstream = self.routers[link.dest_node]
-                    target = downstream.free_vc_for(opposite(Port(out)), packet, now)
+                    downstream = routers[link.dest_node]
+                    target = downstream.free_vc_for(OPPOSITE_PORT[out], packet, now)
                     if target is None:
                         continue
-                chosen = (vc, packet, out, target)
-                router._in_rr[port] = (start + k + 1) % n
+                requests.append((port, vc, packet, out, target))
+                in_rr[port] = (start + k + 1) % n
                 break
-            if chosen is not None:
-                requests.append((port, *chosen))
         if not requests:
             return
         # Output arbitration: one grant per output port (round-robin on
@@ -254,4 +293,7 @@ class Network:
             if not packet.is_escape:
                 packet.hop += 1
         if vc.kind == VC_BUBBLE:
+            # A drained bubble may leave the port's VC membership (it is
+            # only attached while active or occupied).
+            router.invalidate_vc_cache()
             self.scheme.on_bubble_drained(self, router, now)

@@ -16,7 +16,7 @@ Model (Section "DESIGN.md §4"):
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.turns import Port
 from repro.sim.packet import Packet
@@ -95,7 +95,20 @@ class Router:
         self._in_rr = [0] * 5
         self._out_rr = [0] * 5
         #: Number of packets resident in this router (fast idle skip).
-        self.occupancy = 0
+        self._occupancy = 0
+        #: Wake hook installed by the owning network: called with this
+        #: router's node id whenever occupancy becomes positive, so the
+        #: network's active-router set tracks every occupancy mutation
+        #: (including hand-placed packets in tests) without a full scan.
+        self._wake: Optional[Callable[[int], None]] = None
+        #: Lazily built ``tuple(port_vcs(port))`` per port; invalidated on
+        #: bubble activation/deactivation, bubble drain, and escape-VC
+        #: provisioning — the only events that change VC membership.
+        self._vc_cache: List[Optional[Tuple[VirtualChannel, ...]]] = [None] * 5
+        #: Per-port map (kind, vnet) -> VCs in index order, so the free-VC
+        #: search touches only candidates of the right class.
+        self._class_vcs: List[Dict[Tuple[int, int], Tuple[VirtualChannel, ...]]] = []
+        self._rebuild_class_index()
 
         # -- deadlock-scheme state (Section IV) --
         #: Injection restriction installed by a disable message.
@@ -108,6 +121,45 @@ class Router:
         #: The static bubble VC (only on SB routers; None elsewhere).
         self.bubble: Optional[VirtualChannel] = None
         self.bubble_active = False
+
+    # -- occupancy / activity tracking -------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Packets resident in this router (fast idle skip)."""
+        return self._occupancy
+
+    @occupancy.setter
+    def occupancy(self, value: int) -> None:
+        self._occupancy = value
+        if value > 0 and self._wake is not None:
+            self._wake(self.node)
+
+    # -- VC caches ----------------------------------------------------------
+
+    def invalidate_vc_cache(self) -> None:
+        """Drop the cached per-port VC tuples (bubble/provisioning change)."""
+        cache = self._vc_cache
+        for port in range(5):
+            cache[port] = None
+
+    def cached_port_vcs(self, port: int) -> Tuple[VirtualChannel, ...]:
+        """``tuple(port_vcs(port))``, cached until VC membership changes."""
+        vcs = self._vc_cache[port]
+        if vcs is None:
+            vcs = tuple(self.port_vcs(port))
+            self._vc_cache[port] = vcs
+        return vcs
+
+    def _rebuild_class_index(self) -> None:
+        self._class_vcs = []
+        for port in range(5):
+            by_class: Dict[Tuple[int, int], List[VirtualChannel]] = {}
+            for vc in self.input_vcs[port]:
+                by_class.setdefault((vc.kind, vc.vnet), []).append(vc)
+            self._class_vcs.append(
+                {key: tuple(vcs) for key, vcs in by_class.items()}
+            )
 
     # -- construction helpers ---------------------------------------------
 
@@ -133,19 +185,24 @@ class Router:
                     self.input_vcs[port].append(
                         VirtualChannel(port, len(self.input_vcs[port]), vnet, VC_ESCAPE)
                     )
+        self._rebuild_class_index()
+        self.invalidate_vc_cache()
 
     def add_static_bubble(self) -> None:
         """Attach the (initially off) static bubble buffer."""
         self.bubble = VirtualChannel(-1, -1, 0, VC_BUBBLE)
+        self.invalidate_vc_cache()
 
     def activate_bubble(self, in_port: int) -> None:
         if self.bubble is None:
             raise RuntimeError(f"router {self.node} has no static bubble")
         self.bubble.port = in_port
         self.bubble_active = True
+        self.invalidate_vc_cache()
 
     def deactivate_bubble(self) -> None:
         self.bubble_active = False
+        self.invalidate_vc_cache()
 
     # -- queries ------------------------------------------------------------
 
@@ -182,8 +239,8 @@ class Router:
         falling back to an *active* static bubble attached to this port.
         """
         wanted_kind = VC_ESCAPE if packet.is_escape else VC_NORMAL
-        for vc in self.input_vcs[port]:
-            if vc.kind == wanted_kind and vc.vnet == packet.vnet and vc.is_free(now):
+        for vc in self._class_vcs[port].get((wanted_kind, packet.vnet), ()):
+            if vc.packet is None and now >= vc.free_at:
                 return vc
         if (
             not packet.is_escape
@@ -225,7 +282,7 @@ class Router:
 
     def vc_wants_output(self, port: int, out_port: int, now: int) -> bool:
         """Buffer Dependency Check unit: any VC at ``port`` wanting ``out_port``?"""
-        for vc in self.port_vcs(port):
+        for vc in self.cached_port_vcs(port):
             if vc.has_switchable_packet(now):
                 pkt = vc.packet
                 if self._requested_output(pkt) == out_port:
