@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Gate the cost of the (disabled) observability layer.
+
+Compares a fresh ``pytest-benchmark`` JSON against the stored baseline
+(``benchmarks/baseline/simulator_bench.json``) and fails when a gated
+benchmark's mean regressed beyond the noise factor.  The hot-path
+benchmarks run with tracing *off*, so any regression here is overhead
+the ``repro.obs`` emission guards leak into untraced simulations.
+
+Usage::
+
+    python benchmarks/check_overhead.py bench.json            # compare
+    python benchmarks/check_overhead.py bench.json --update   # rewrite baseline
+
+The noise factor defaults to 1.75x (benchmarks cross machines and CI
+runners; the guard is meant to catch 2x-style structural regressions,
+not scheduling jitter) and can be tightened/loosened via the
+``OBS_NOISE_FACTOR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).parent / "baseline" / "simulator_bench.json"
+
+#: Benchmarks that gate the run (the obs hot paths).  Everything else in
+#: the file is reported but informational.
+GATED = ("test_step_saturated", "test_step_low_load", "test_step_idle_network")
+
+DEFAULT_NOISE_FACTOR = 1.75
+
+
+def _means(bench_json: dict) -> dict:
+    """name -> mean seconds, from a pytest-benchmark JSON document."""
+    means = {}
+    for record in bench_json.get("benchmarks", []):
+        means[record["name"]] = record["stats"]["mean"]
+    return means
+
+
+def update_baseline(current: dict, path: Path = BASELINE_PATH) -> None:
+    payload = {
+        "comment": "mean seconds per benchmark; regenerate with "
+        "`python benchmarks/check_overhead.py bench.json --update`",
+        "means": _means(current),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"baseline updated: {path}")
+
+
+def check(current: dict, path: Path = BASELINE_PATH) -> int:
+    factor = float(os.environ.get("OBS_NOISE_FACTOR", DEFAULT_NOISE_FACTOR))
+    baseline = json.loads(path.read_text())["means"]
+    means = _means(current)
+    failures = []
+    print(f"{'benchmark':40s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
+    for name in sorted(means):
+        if name not in baseline:
+            print(f"{name:40s} {'-':>12s} {means[name] * 1e3:9.2f} ms   (new)")
+            continue
+        ratio = means[name] / baseline[name] if baseline[name] else float("inf")
+        gated = name in GATED
+        marker = ""
+        if gated and ratio > factor:
+            failures.append((name, ratio))
+            marker = "  << FAIL"
+        elif gated:
+            marker = "  (gated)"
+        print(
+            f"{name:40s} {baseline[name] * 1e3:9.2f} ms {means[name] * 1e3:9.2f} ms"
+            f" {ratio:6.2f}x{marker}"
+        )
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} gated benchmark(s) regressed beyond "
+            f"{factor:.2f}x the stored baseline:"
+        )
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nOK: gated benchmarks within {factor:.2f}x of the baseline.")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", help="pytest-benchmark JSON to evaluate")
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the stored baseline instead"
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), help="baseline file location"
+    )
+    args = parser.parse_args(argv)
+    current = json.loads(Path(args.bench_json).read_text())
+    path = Path(args.baseline)
+    if args.update:
+        update_baseline(current, path)
+        return 0
+    return check(current, path)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

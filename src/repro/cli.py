@@ -7,24 +7,38 @@ Commands:
 * ``simulate`` — run one simulation (topology, faults, scheme, traffic)
   and print the measured statistics.
 * ``experiment NAME`` — run one of the paper's experiments (``fig2`` ...
-  ``fig13``, ``table1``) in quick or full mode and print its report.
+  ``fig13``, ``table1``) in quick or full mode and print its report;
+  ``--obs`` aggregates the observability metrics registry across sweep
+  workers and prints it after the report.
+* ``trace`` — run a scenario or synthetic simulation with the tracing
+  observer attached; export JSONL / Chrome ``trace_event`` files and
+  print the stitched recovery transcripts.
 * ``schemes`` — list the available deadlock-freedom schemes.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from typing import List, Optional
 
 from repro.core.placement import bubble_count, placement_map
 from repro.experiments import ALL_EXPERIMENTS
+from repro.obs import (
+    OBS_ENV_VAR,
+    Observer,
+    proc_registry,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.protocols import SCHEMES, make_scheme
 from repro.sim.config import SimConfig
 from repro.sim.deadlock import DeadlockMonitor
 from repro.sim.engine import run_with_window
 from repro.sim.network import Network
+from repro.sim.scenarios import SCENARIOS, build_scenario
 from repro.topology.faults import inject_link_faults, inject_router_faults
 from repro.topology.mesh import mesh
 from repro.traffic.synthetic import make_pattern
@@ -106,8 +120,74 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     params = params_cls.full() if args.full else params_cls.quick()
     if args.workers is not None:
         params.workers = args.workers
+    if getattr(args, "obs", False):
+        # The env var is inherited by pool workers, which then ship their
+        # per-process registries home for merging (repro.parallel.pool).
+        os.environ[OBS_ENV_VAR] = "1"
     result = module.run(params)
     print(module.report(result))
+    if getattr(args, "obs", False):
+        registry = proc_registry()
+        if not registry.is_empty:
+            print("\nobservability metrics (merged across workers):")
+            for line in registry.summary_lines():
+                print("  " + line)
+    return 0
+
+
+def _scheme_in_recovery(scheme) -> bool:
+    states = getattr(scheme, "states", None)
+    if not states:
+        return False
+    return any(
+        state.fsm.in_recovery() or state.fsm.counting() for state in states.values()
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.scenario:
+        net, scheme = build_scenario(args.scenario, t_dd=args.t_dd)
+    else:
+        topo = mesh(args.width, args.height)
+        rng = random.Random(args.seed)
+        if args.link_faults:
+            topo = inject_link_faults(topo, args.link_faults, rng)
+        config = SimConfig(
+            width=args.width, height=args.height, sb_t_dd=args.t_dd or 34
+        )
+        traffic = make_pattern(args.pattern, topo, args.rate, seed=args.seed)
+        scheme = make_scheme(args.scheme)
+        net = Network(topo, config, scheme, traffic, seed=args.seed)
+    obs = Observer(ring_capacity=args.ring, sample_every=args.sample_every)
+    net.attach_obs(obs)
+    for _ in range(args.cycles):
+        net.step()
+        if (
+            args.scenario
+            and net.is_drained()
+            and not _scheme_in_recovery(scheme)
+        ):
+            break  # scenario fully drained and every recovery closed out
+    obs.finalize(net)
+    events = obs.events
+    print(f"{len(events)} events buffered over {net.cycle} cycles")
+    if args.jsonl:
+        write_jsonl(events, args.jsonl)
+        print(f"wrote JSONL trace: {args.jsonl}")
+    if args.chrome:
+        write_chrome_trace(events, args.chrome)
+        print(f"wrote Chrome trace (chrome://tracing / Perfetto): {args.chrome}")
+    transcripts = obs.transcripts()
+    if transcripts:
+        print(f"\n{len(transcripts)} recovery transcript(s):")
+        for transcript in transcripts:
+            print(transcript.describe(with_events=args.events))
+    else:
+        print("\nno recoveries observed")
+    if obs.metrics is not None and not obs.metrics.is_empty:
+        print("\nmetrics:")
+        for line in obs.metrics.summary_lines():
+            print("  " + line)
     return 0
 
 
@@ -158,7 +238,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep "
         "(default: $REPRO_WORKERS, else cpu_count()-1; 1 = serial)",
     )
+    p.add_argument(
+        "--obs",
+        action="store_true",
+        help="collect observability metrics (merged across workers) "
+        "and print them after the report",
+    )
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "trace", help="run with the tracing observer and export traces"
+    )
+    p.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="hand-constructed deadlock scenario (default: synthetic traffic)",
+    )
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--height", type=int, default=8)
+    p.add_argument("--link-faults", type=int, default=0)
+    p.add_argument("--scheme", choices=sorted(SCHEMES), default="static-bubble")
+    p.add_argument("--pattern", default="uniform_random")
+    p.add_argument("--rate", type=float, default=0.05)
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument(
+        "--t-dd", type=int, default=None, help="SB detection threshold override"
+    )
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--ring", type=int, default=65536, help="event ring-buffer capacity"
+    )
+    p.add_argument(
+        "--sample-every", type=int, default=64, help="metrics sampling cadence"
+    )
+    p.add_argument("--jsonl", default=None, help="write the event log as JSONL")
+    p.add_argument(
+        "--chrome",
+        default=None,
+        help="write a Chrome trace_event file (chrome://tracing, Perfetto)",
+    )
+    p.add_argument(
+        "--events",
+        action="store_true",
+        help="print every event of each recovery transcript",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     return parser
 

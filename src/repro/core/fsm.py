@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.core.turns import Port, Turn
 
@@ -93,8 +93,20 @@ class CounterFsm:
     probes_sent: int = 0
     recoveries_completed: int = 0
     recoveries_aborted: int = 0
+    #: Observability hook: called as ``trace(fsm, old_state, new_state)``
+    #: on every state transition (installed by ``Network.attach_obs``).
+    trace: Optional[Callable[["CounterFsm", FsmState, FsmState], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- counter -----------------------------------------------------------
+
+    def transition(self, new_state: FsmState) -> None:
+        """Move to ``new_state``, notifying the trace hook if installed."""
+        old = self.state
+        self.state = new_state
+        if self.trace is not None and old is not new_state:
+            self.trace(self, old, new_state)
 
     def _restart(self, threshold: Optional[int] = None) -> None:
         self.count = 0
@@ -125,13 +137,13 @@ class CounterFsm:
             return FsmAction.SEND_PROBE
         if self.state == FsmState.S_DISABLE:
             # Disable was dropped midway; undo partial injection restrictions.
-            self.state = FsmState.S_ENABLE
+            self.transition(FsmState.S_ENABLE)
             self.enable_retries = 0
             self._restart()
             return FsmAction.SEND_ENABLE
         if self.state == FsmState.S_CHECK_PROBE:
             # Chain no longer exists; clear restrictions along the path.
-            self.state = FsmState.S_ENABLE
+            self.transition(FsmState.S_ENABLE)
             self.enable_retries = 0
             self._restart()
             return FsmAction.SEND_ENABLE
@@ -149,7 +161,7 @@ class CounterFsm:
     def on_first_flit(self) -> None:
         """A flit arrived while the router was idle: S_OFF -> S_DD."""
         if self.state == FsmState.S_OFF:
-            self.state = FsmState.S_DD
+            self.transition(FsmState.S_DD)
             self._restart(self.t_dd)
 
     def on_watched_vc_progress(self, any_vc_active: bool) -> None:
@@ -163,7 +175,7 @@ class CounterFsm:
         if any_vc_active:
             self._restart(self.t_dd)
         else:
-            self.state = FsmState.S_OFF
+            self.transition(FsmState.S_OFF)
             self.count = 0
 
     # -- protocol events ---------------------------------------------------
@@ -179,28 +191,28 @@ class CounterFsm:
         self.turn_buffer = tuple(turns)
         self.probe_in_port = in_port
         self.probe_out_port = out_port
-        self.state = FsmState.S_DISABLE
+        self.transition(FsmState.S_DISABLE)
         self._restart(recovery_threshold(len(turns)))
         return FsmAction.SEND_DISABLE
 
     def on_disable_returned(self) -> FsmAction:
         if self.state != FsmState.S_DISABLE:
             return FsmAction.NONE
-        self.state = FsmState.S_SB_ACTIVE
+        self.transition(FsmState.S_SB_ACTIVE)
         self.count = 0
         return FsmAction.ACTIVATE_BUBBLE
 
     def on_bubble_reclaimed(self) -> FsmAction:
         if self.state != FsmState.S_SB_ACTIVE:
             return FsmAction.NONE
-        self.state = FsmState.S_CHECK_PROBE
+        self.transition(FsmState.S_CHECK_PROBE)
         self._restart(recovery_threshold(len(self.turn_buffer)))
         return FsmAction.SEND_CHECK_PROBE
 
     def on_check_probe_returned(self) -> FsmAction:
         if self.state != FsmState.S_CHECK_PROBE:
             return FsmAction.NONE
-        self.state = FsmState.S_SB_ACTIVE
+        self.transition(FsmState.S_SB_ACTIVE)
         self.count = 0
         return FsmAction.ACTIVATE_BUBBLE
 
@@ -222,10 +234,10 @@ class CounterFsm:
         self.probe_out_port = None
         self.enable_retries = 0
         if any_vc_active:
-            self.state = FsmState.S_DD
+            self.transition(FsmState.S_DD)
             self._restart(self.t_dd)
         else:
-            self.state = FsmState.S_OFF
+            self.transition(FsmState.S_OFF)
             self.count = 0
 
     def on_foreign_disable(self) -> None:
@@ -236,13 +248,13 @@ class CounterFsm:
         arrives.
         """
         if self.state == FsmState.S_DD:
-            self.state = FsmState.S_OFF
+            self.transition(FsmState.S_OFF)
             self.count = 0
 
     def on_foreign_enable(self, any_vc_active: bool) -> None:
         """The matching foreign enable arrived; resume watching VCs."""
         if self.state == FsmState.S_OFF and any_vc_active:
-            self.state = FsmState.S_DD
+            self.transition(FsmState.S_DD)
             self._restart(self.t_dd)
 
     def in_recovery(self) -> bool:

@@ -62,8 +62,15 @@ def run_synthetic(
     measure: int,
     seed: int,
     monitor: bool = False,
+    obs=None,
 ) -> Tuple[WindowResult, Network]:
-    """One warmup+measure simulation of a synthetic pattern."""
+    """One warmup+measure simulation of a synthetic pattern.
+
+    ``obs``: optional :class:`repro.obs.Observer` to attach for this run;
+    when ``None`` but ``REPRO_OBS`` is set, the engine attaches a
+    metrics-only observer bound to the per-process registry so sweep
+    counters aggregate across pool workers with no tracing overhead.
+    """
     traffic = make_pattern(
         pattern,
         topo,
@@ -79,6 +86,7 @@ def run_synthetic(
         warmup,
         measure,
         monitor=DeadlockMonitor() if monitor else None,
+        obs=obs,
     )
     return result, network
 

@@ -1,0 +1,122 @@
+"""Typed trace events: the vocabulary of the observability layer.
+
+Every event is a :class:`Event` — ``(cycle, kind, node, data)`` — where
+``kind`` is one of the dotted constants below and ``data`` is a flat
+JSON-safe dict whose keys are fixed per kind (see :data:`EVENT_SCHEMA`).
+``node = -1`` marks network-level events with no owning router.
+
+The schema is deliberately small and stable: exporters
+(:mod:`repro.obs.tracer`), the transcript stitcher
+(:mod:`repro.obs.transcript`) and external consumers (Perfetto, jq over
+the JSONL) all key off ``kind`` and these field names.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+# -- packet lifecycle ------------------------------------------------------
+PACKET_INJECT = "packet.inject"
+PACKET_TRANSFER = "packet.transfer"
+PACKET_EJECT = "packet.eject"
+PACKET_DROP = "packet.drop"
+
+# -- special-message lifecycle ---------------------------------------------
+SPECIAL_SEND = "special.send"
+SPECIAL_DELIVER = "special.deliver"
+SPECIAL_DROP = "special.drop"
+
+# -- recovery FSM / protocol state -----------------------------------------
+FSM_TRANSITION = "fsm.transition"
+BUBBLE_ACTIVATE = "bubble.activate"
+BUBBLE_DRAIN = "bubble.drain"
+BUBBLE_RELOCATE = "bubble.relocate"
+SEAL_INSTALL = "seal.install"
+SEAL_CLEAR = "seal.clear"
+SEAL_REFRESH = "seal.refresh"
+SEAL_EXPIRE = "seal.expire"
+RECOVERY_DONE = "recovery.done"
+RECOVERY_ABORT = "recovery.abort"
+
+# -- ground-truth oracle ---------------------------------------------------
+ORACLE_DEADLOCK = "oracle.deadlock"
+
+#: kind -> {field: meaning}.  This doubles as the reference documentation
+#: surfaced in README.md; tests assert every emitted event honours it.
+EVENT_SCHEMA: Dict[str, Dict[str, str]] = {
+    PACKET_INJECT: {
+        "pid": "packet id",
+        "src": "source node",
+        "dst": "destination node",
+        "size": "flits",
+        "vnet": "virtual network",
+    },
+    PACKET_TRANSFER: {
+        "pid": "packet id",
+        "to": "downstream node",
+        "out": "output port name",
+        "size": "flits",
+    },
+    PACKET_EJECT: {
+        "pid": "packet id",
+        "latency": "network latency (cycles)",
+        "total_latency": "latency incl. source queueing (cycles)",
+    },
+    PACKET_DROP: {"reason": "unreachable | unreachable_src", "dst": "destination"},
+    SPECIAL_SEND: {
+        "mtype": "PROBE | DISABLE | ENABLE | CHECK_PROBE",
+        "sender": "originating static-bubble node",
+        "out": "output port name",
+        "turns": "turn-path length",
+        "arrival": "delivery cycle (send + 2)",
+    },
+    SPECIAL_DELIVER: {
+        "mtype": "message type",
+        "sender": "originating static-bubble node",
+        "in_port": "input port name",
+        "turns": "turn-path length",
+    },
+    SPECIAL_DROP: {
+        "mtype": "message type",
+        "sender": "originating static-bubble node",
+        "reason": "capacity | port_not_full | id_race | chain_dissolved | "
+        "revalidation_failed",
+    },
+    FSM_TRANSITION: {"from_state": "previous FsmState", "to_state": "new FsmState"},
+    BUBBLE_ACTIVATE: {"in_port": "chain input port name"},
+    BUBBLE_DRAIN: {},
+    BUBBLE_RELOCATE: {"pid": "relocated resident packet id"},
+    SEAL_INSTALL: {
+        "source": "sealing chain's sender node",
+        "in_port": "chain input port name",
+        "out_port": "chain output port name",
+    },
+    SEAL_CLEAR: {"source": "chain sender whose seal was cleared"},
+    SEAL_REFRESH: {"source": "chain sender", "age": "cycles since install"},
+    SEAL_EXPIRE: {"source": "chain sender", "age": "cycles since install"},
+    RECOVERY_DONE: {},
+    RECOVERY_ABORT: {"retries": "enable retransmissions attempted"},
+    ORACLE_DEADLOCK: {"pids": "packet ids of the wait-for cycle", "new": "newly observed pids"},
+}
+
+
+class Event:
+    """One trace event.  Plain ``__slots__`` object: the hot path builds
+    many of these, so no dataclass machinery."""
+
+    __slots__ = ("cycle", "kind", "node", "data")
+
+    def __init__(self, cycle: int, kind: str, node: int, data: Dict[str, Any]):
+        self.cycle = cycle
+        self.kind = kind
+        self.node = node
+        self.data = data
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {"cycle": self.cycle, "kind": self.kind, "node": self.node}
+        out.update(self.data)
+        return out
+
+    def __repr__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.cycle:5d}] n{self.node} {self.kind} {fields}"

@@ -1,0 +1,240 @@
+"""Metrics registry: counters, gauges, histograms — mergeable across
+processes.
+
+The registry is a flat name -> metric map.  Every metric serializes to
+plain dicts (:meth:`MetricsRegistry.to_dict`) and merges commutatively
+(:meth:`MetricsRegistry.merge_dict`), so per-simulation registries can be
+folded into a per-process registry, shipped across the
+:mod:`repro.parallel` pool boundary, and folded again in the parent —
+order never matters.
+
+Process-level aggregation: :func:`proc_registry` is this process's
+accumulator; :func:`drain_proc_registry` snapshots-and-resets it (used by
+pool workers to return their share).  :func:`obs_enabled` gates the whole
+machinery on the ``REPRO_OBS`` environment variable, which the CLI's
+``--obs`` flag sets so that forked/spawned workers inherit it.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Environment variable that switches sweep-level metrics collection on.
+OBS_ENV_VAR = "REPRO_OBS"
+
+#: Bucket upper bounds (cycles) for packet-latency histograms.
+LATENCY_BOUNDS: Tuple[float, ...] = (8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+#: Bucket upper bounds (fraction of link-cycles busy) for utilization.
+UTILIZATION_BOUNDS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8,
+)
+
+
+def obs_enabled() -> bool:
+    """True when ``REPRO_OBS`` asks for sweep metrics collection."""
+    return os.environ.get(OBS_ENV_VAR, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value plus the min/max envelope seen."""
+
+    __slots__ = ("value", "min", "max")
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+
+class Histogram:
+    """Fixed-bound histogram with count/total/min/max sidecars.
+
+    ``bounds`` are inclusive upper bucket edges; one overflow bucket
+    catches everything beyond the last edge.  Merging requires identical
+    bounds.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, value: float, n: int = 1) -> None:
+        self.counts[bisect_left(self.bounds, value)] += n
+        self.count += n
+        self.total += value * n
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (upper edge of the containing bucket)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for i, c in enumerate(self.counts):
+            running += c
+            if running >= target:
+                if i < len(self.bounds):
+                    return float(self.bounds[i])
+                return float(self.max if self.max is not None else self.bounds[-1])
+        return float(self.max if self.max is not None else 0.0)
+
+
+class MetricsRegistry:
+    """Flat name -> Counter | Gauge | Histogram map."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors (create on first use) --------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BOUNDS
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(bounds)
+        return metric
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- serialization / merge ------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {
+                k: {"value": g.value, "min": g.min, "max": g.max}
+                for k, g in self._gauges.items()
+            },
+            "histograms": {
+                k: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for k, h in self._histograms.items()
+            },
+        }
+
+    def merge_dict(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`to_dict` snapshot into this registry."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, g in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.value = g["value"]
+            for bound in (g.get("min"), g.get("max")):
+                if bound is not None:
+                    gauge.min = bound if gauge.min is None else min(gauge.min, bound)
+                    gauge.max = bound if gauge.max is None else max(gauge.max, bound)
+        for name, h in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, h["bounds"])
+            if tuple(h["bounds"]) != hist.bounds:
+                raise ValueError(f"histogram {name!r}: bucket bounds disagree")
+            for i, c in enumerate(h["counts"]):
+                hist.counts[i] += c
+            hist.count += h["count"]
+            hist.total += h["total"]
+            for attr in ("min", "max"):
+                other = h.get(attr)
+                if other is None:
+                    continue
+                mine = getattr(hist, attr)
+                pick = min if attr == "min" else max
+                setattr(hist, attr, other if mine is None else pick(mine, other))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_dict(other.to_dict())
+
+    # -- reporting -------------------------------------------------------
+
+    def summary_lines(self) -> List[str]:
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"{name:40s} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            lines.append(
+                f"{name:40s} {gauge.value:g} (min={gauge.min:g} max={gauge.max:g})"
+                if gauge.min is not None
+                else f"{name:40s} {gauge.value:g}"
+            )
+        for name, hist in sorted(self._histograms.items()):
+            lines.append(
+                f"{name:40s} n={hist.count} mean={hist.mean:.2f} "
+                f"p50={hist.percentile(0.5):g} p99={hist.percentile(0.99):g} "
+                f"max={hist.max if hist.max is not None else 0:g}"
+            )
+        return lines
+
+
+#: Per-process accumulator (workers drain it back to the parent).
+_PROC_REGISTRY = MetricsRegistry()
+
+
+def proc_registry() -> MetricsRegistry:
+    return _PROC_REGISTRY
+
+
+def drain_proc_registry() -> Dict[str, Any]:
+    """Snapshot-and-reset the per-process registry (pool-worker return)."""
+    snapshot = _PROC_REGISTRY.to_dict()
+    _PROC_REGISTRY.clear()
+    return snapshot

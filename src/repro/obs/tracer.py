@@ -1,0 +1,138 @@
+"""Event sinks: bounded ring buffer, JSONL export, Chrome trace export.
+
+The :class:`Tracer` is the in-memory sink: a bounded ring buffer of
+:class:`~repro.obs.events.Event` (oldest events fall off, so tracing a
+long run cannot exhaust memory).  Exports:
+
+* :func:`write_jsonl` — one JSON object per line, ``jq``-friendly.
+* :func:`write_chrome_trace` — Chrome ``trace_event`` JSON: open it at
+  https://ui.perfetto.dev to see per-router timelines (``tid`` = router
+  node id) with FSM states as duration slices and everything else as
+  instant events.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.obs.events import Event, FSM_TRANSITION
+
+
+class Tracer:
+    """Bounded in-memory event sink.
+
+    ``capacity`` bounds the ring buffer; ``sink`` optionally streams every
+    event as it is emitted (e.g. ``print`` for live debugging).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        sink: Optional[Callable[[Event], None]] = None,
+    ) -> None:
+        self.capacity = capacity
+        self.sink = sink
+        self._ring: Deque[Event] = deque(maxlen=capacity)
+        #: Total events emitted (>= len(events) once the ring wraps).
+        self.emitted = 0
+
+    def emit(self, cycle: int, kind: str, node: int, data: Dict[str, Any]) -> None:
+        event = Event(cycle, kind, node, data)
+        self._ring.append(event)
+        self.emitted += 1
+        if self.sink is not None:
+            self.sink(event)
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+def write_jsonl(events: Sequence[Event], path: str) -> int:
+    """Write events as JSON Lines; returns the number of lines written."""
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_dict(), default=str))
+            fh.write("\n")
+    return len(events)
+
+
+def chrome_trace_events(events: Sequence[Event]) -> List[Dict[str, Any]]:
+    """Convert to Chrome ``trace_event`` dicts (1 cycle = 1 µs).
+
+    FSM transitions become complete ("X") duration slices — one per state
+    residency interval — so a recovery reads as a colored band per router
+    row in Perfetto; every other event is an instant ("i") on its
+    router's row.
+    """
+    out: List[Dict[str, Any]] = []
+    nodes = sorted({e.node for e in events})
+    for node in nodes:
+        name = "network" if node < 0 else f"router {node}"
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": node,
+                "args": {"name": name},
+            }
+        )
+    # FSM state residency slices.
+    by_node_fsm: Dict[int, List[Event]] = {}
+    last_cycle = max((e.cycle for e in events), default=0)
+    for event in events:
+        if event.kind == FSM_TRANSITION:
+            by_node_fsm.setdefault(event.node, []).append(event)
+    for node, transitions in by_node_fsm.items():
+        for i, event in enumerate(transitions):
+            end = transitions[i + 1].cycle if i + 1 < len(transitions) else last_cycle
+            out.append(
+                {
+                    "name": event.data.get("to_state", "?"),
+                    "cat": "fsm",
+                    "ph": "X",
+                    "ts": event.cycle,
+                    "dur": max(end - event.cycle, 1),
+                    "pid": 0,
+                    "tid": node,
+                    "args": dict(event.data),
+                }
+            )
+    # Everything else as instants.
+    for event in events:
+        if event.kind == FSM_TRANSITION:
+            continue
+        out.append(
+            {
+                "name": event.kind,
+                "cat": event.kind.split(".", 1)[0],
+                "ph": "i",
+                "s": "t",
+                "ts": event.cycle,
+                "pid": 0,
+                "tid": event.node,
+                "args": dict(event.data),
+            }
+        )
+    return out
+
+
+def write_chrome_trace(events: Sequence[Event], path: str) -> int:
+    """Write a Chrome ``trace_event`` file; returns the event count."""
+    trace = {
+        "traceEvents": chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "time_unit": "1 cycle = 1 us"},
+    }
+    with open(path, "w") as fh:
+        json.dump(trace, fh, default=str)
+    return len(trace["traceEvents"])

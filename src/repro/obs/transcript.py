@@ -1,0 +1,124 @@
+"""Per-recovery transcripts: one FSM's probe -> enable lifecycle.
+
+A recovery transcript stitches, in cycle order, every event belonging to
+one static-bubble router's recovery operation: the probe launch, the FSM
+transitions, the disable/check_probe/enable replays (including their
+forwarding hops at other routers, matched by ``sender``), bubble
+activity, and seal installs/clears along the chain.  This is the view a
+protocol debugger actually wants: "show me recovery #2 at node 5".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.events import (
+    BUBBLE_ACTIVATE,
+    Event,
+    FSM_TRANSITION,
+    RECOVERY_ABORT,
+    RECOVERY_DONE,
+    SPECIAL_SEND,
+)
+
+#: Message types of the four-step handshake, in protocol order.
+_HANDSHAKE = ("PROBE", "DISABLE", "CHECK_PROBE", "ENABLE")
+
+
+@dataclass
+class RecoveryTranscript:
+    """One recovery operation of one static-bubble FSM."""
+
+    node: int
+    start_cycle: int
+    end_cycle: Optional[int] = None
+    completed: bool = False
+    aborted: bool = False
+    events: List[Event] = field(default_factory=list)
+
+    @property
+    def open(self) -> bool:
+        return self.end_cycle is None
+
+    def sent_mtypes(self) -> List[str]:
+        """Special-message types this FSM launched, in order."""
+        return [
+            e.data.get("mtype", "?")
+            for e in self.events
+            if e.kind == SPECIAL_SEND and e.node == self.node
+        ]
+
+    def is_full_handshake(self) -> bool:
+        """Complete probe -> disable -> activate -> check_probe -> enable?"""
+        sent = set(self.sent_mtypes())
+        activated = any(e.kind == BUBBLE_ACTIVATE for e in self.events)
+        return self.completed and activated and all(m in sent for m in _HANDSHAKE)
+
+    def describe(self, with_events: bool = False) -> str:
+        status = (
+            "aborted" if self.aborted
+            else "completed" if self.completed
+            else "in flight"
+        )
+        end = self.end_cycle if self.end_cycle is not None else "..."
+        header = (
+            f"recovery @ node {self.node}: cycles {self.start_cycle}..{end} "
+            f"({status}; {len(self.events)} events)"
+        )
+        if not with_events:
+            return header
+        return "\n".join([header] + [f"  {e!r}" for e in self.events])
+
+
+def recovery_transcripts(events: Sequence[Event]) -> List[RecoveryTranscript]:
+    """Stitch per-FSM recovery transcripts out of a trace.
+
+    A transcript opens at the FSM's transition into ``S_DISABLE`` (its
+    probe came back — a recovery is now in flight) and is back-dated to
+    the launch of the most recent preceding probe.  It closes at the
+    matching ``recovery.done`` / ``recovery.abort``.  Transcripts still
+    open at the end of the trace are returned with ``end_cycle=None``.
+    """
+    transcripts: List[RecoveryTranscript] = []
+    open_by_node: Dict[int, RecoveryTranscript] = {}
+    last_probe: Dict[int, Event] = {}
+    for event in events:
+        node = event.node
+        sender = event.data.get("sender")
+        if (
+            event.kind == SPECIAL_SEND
+            and event.data.get("mtype") == "PROBE"
+            and sender == node
+            and node not in open_by_node
+        ):
+            last_probe[node] = event
+        opened = (
+            event.kind == FSM_TRANSITION
+            and event.data.get("to_state") == "S_DISABLE"
+            and node not in open_by_node
+        )
+        if opened:
+            probe = last_probe.pop(node, None)
+            transcript = RecoveryTranscript(
+                node=node,
+                start_cycle=probe.cycle if probe is not None else event.cycle,
+            )
+            if probe is not None:
+                transcript.events.append(probe)
+            open_by_node[node] = transcript
+            transcripts.append(transcript)
+        # Attribution: special-message events belong to their sender's
+        # transcript (wherever they happen); everything else belongs to
+        # the router it happened at.
+        owner = sender if sender is not None else node
+        transcript = open_by_node.get(owner)
+        if transcript is None:
+            continue
+        transcript.events.append(event)
+        if owner == node and event.kind in (RECOVERY_DONE, RECOVERY_ABORT):
+            transcript.end_cycle = event.cycle
+            transcript.completed = event.kind == RECOVERY_DONE
+            transcript.aborted = event.kind == RECOVERY_ABORT
+            del open_by_node[node]
+    return transcripts

@@ -31,6 +31,7 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import drain_proc_registry, obs_enabled, proc_registry
 from repro.utils.rng import derive_seed
 
 #: Environment variable consulted when no explicit worker count is given.
@@ -57,6 +58,14 @@ class Job:
 def _call_job(job: Job) -> Any:
     """Top-level trampoline executed inside worker processes."""
     return job.run()
+
+
+def _call_job_obs(job: Job) -> Tuple[Any, Dict[str, Any]]:
+    """Trampoline used when ``REPRO_OBS`` is on: ship the worker's
+    per-process metrics snapshot home alongside the result, so the parent
+    can merge every worker's counters into one registry."""
+    result = job.run()
+    return result, drain_proc_registry()
 
 
 def job_seed(base_seed: int, *labels: object) -> int:
@@ -146,9 +155,14 @@ def run_jobs(
         pool = _pool_context().Pool(processes=n)
     except (OSError, PermissionError, ImportError):
         return _run_serial(jobs, progress)
+    merge_obs = obs_enabled()
+    call = _call_job_obs if merge_obs else _call_job
     with pool:
         results: List[Any] = []
-        for i, result in enumerate(pool.imap(_call_job, jobs, chunksize)):
+        for i, result in enumerate(pool.imap(call, jobs, chunksize)):
+            if merge_obs:
+                result, snapshot = result
+                proc_registry().merge_dict(snapshot)
             results.append(result)
             if progress is not None:
                 progress(i + 1, total)

@@ -44,6 +44,13 @@ class DeadlockScheme:
     def setup(self, network: "Network") -> None:
         """Augment routers (escape VCs, bubbles, FSMs) after construction."""
 
+    def attach_obs(self, network: "Network", observer) -> None:
+        """Install scheme-level tracing hooks (``Network.attach_obs``).
+
+        Default: nothing to trace.  The Static Bubble scheme installs FSM
+        transition tracers here.
+        """
+
     def on_cycle(self, network: "Network", now: int) -> None:
         """Per-cycle protocol work, run after switch allocation."""
 

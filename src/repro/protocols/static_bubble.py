@@ -47,6 +47,19 @@ from repro.core.messages import (
 )
 from repro.core.placement import placement_node_ids
 from repro.core.turns import Port, apply_turn, turn_between
+from repro.obs.events import (
+    BUBBLE_ACTIVATE,
+    BUBBLE_DRAIN,
+    BUBBLE_RELOCATE,
+    FSM_TRANSITION,
+    RECOVERY_ABORT,
+    RECOVERY_DONE,
+    SEAL_CLEAR,
+    SEAL_EXPIRE,
+    SEAL_INSTALL,
+    SEAL_REFRESH,
+    SPECIAL_DROP,
+)
 from repro.protocols.base import DeadlockScheme
 from repro.sim.config import SimConfig
 from repro.sim.router import VC_NORMAL
@@ -123,6 +136,27 @@ class StaticBubbleScheme(DeadlockScheme):
     def is_sb_router(self, node: int) -> bool:
         return node in self.states
 
+    def attach_obs(self, network: "Network", observer) -> None:
+        """Install FSM transition tracing (called by ``attach_obs``)."""
+
+        def trace(fsm, old, new):
+            observer.emit(
+                network.cycle,
+                FSM_TRANSITION,
+                fsm.node,
+                {"from_state": old.name, "to_state": new.name},
+            )
+
+        for state in self.states.values():
+            state.fsm.trace = trace
+
+    @staticmethod
+    def _emit(network: "Network", kind: str, node: int, **data) -> None:
+        """Trace-event emission guard (no-op when no observer attached)."""
+        obs = network.obs
+        if obs is not None:
+            obs.emit(network.cycle, kind, node, data)
+
     def extra_vcs_per_router(self, node: int, config: SimConfig) -> int:
         if self.placement_override is not None:
             return 1 if node in self.placement_override else 0
@@ -157,11 +191,20 @@ class StaticBubbleScheme(DeadlockScheme):
             state = self.states.get(router.node)
             if state is not None and state.fsm.in_recovery():
                 continue  # the owner FSM manages its own seal
-            if now - router.io_set_at < timeout:
+            age = now - router.io_set_at
+            if age < timeout:
                 continue
             if router.vc_wants_output(router.io_in_port, router.io_out_port, now):
                 router.io_set_at = now  # chain still flowing; keep the seal
+                self._emit(
+                    network, SEAL_REFRESH, router.node,
+                    source=router.source_id, age=age,
+                )
                 continue
+            self._emit(
+                network, SEAL_EXPIRE, router.node,
+                source=router.source_id, age=age,
+            )
             router.clear_io_restriction()
 
     def _relocate_bubble_resident(
@@ -185,6 +228,7 @@ class StaticBubbleScheme(DeadlockScheme):
                 bubble.packet = None
                 bubble.free_at = now + 1
                 router.invalidate_vc_cache()
+                self._emit(network, BUBBLE_RELOCATE, router.node, pid=resident.pid)
                 self.on_bubble_drained(network, router, now)
                 return
 
@@ -304,7 +348,7 @@ class StaticBubbleScheme(DeadlockScheme):
                 # speed-up — tear the seal down immediately and let a
                 # fresh detection round find the chain again if it still
                 # exists.
-                fsm.state = FsmState.S_ENABLE
+                fsm.transition(FsmState.S_ENABLE)
                 fsm.enable_retries = 0
                 fsm.count = 0
                 self._dispatch(network, router, state, FsmAction.SEND_ENABLE, now)
@@ -329,15 +373,31 @@ class StaticBubbleScheme(DeadlockScheme):
             router.activate_bubble(fsm.probe_in_port)
             state.bubble_active_since = now
             network.stats.bubble_activations += 1
+            self._emit(
+                network, SEAL_INSTALL, node,
+                source=node,
+                in_port=Port(fsm.probe_in_port).name,
+                out_port=Port(fsm.probe_out_port).name,
+            )
+            self._emit(
+                network, BUBBLE_ACTIVATE, node,
+                in_port=Port(fsm.probe_in_port).name,
+            )
             return
         if action == FsmAction.RECOVERY_DONE:
             network.stats.recoveries_completed += 1
+            self._emit(network, RECOVERY_DONE, node)
             return
         if action == FsmAction.ABORT_RECOVERY:
+            retries = fsm.enable_retries
+            if router.is_deadlock:
+                self._emit(network, SEAL_CLEAR, node, source=router.source_id)
             router.clear_io_restriction()
             router.deactivate_bubble()
             any_active = any(vc.packet is not None for vc in self._compass_vcs(router))
             fsm.abort_recovery(any_active)
+            network.stats.recoveries_aborted += 1
+            self._emit(network, RECOVERY_ABORT, node, retries=retries)
             return
 
     def _watched_output(
@@ -357,6 +417,7 @@ class StaticBubbleScheme(DeadlockScheme):
         state = self.states.get(router.node)
         if state is None:
             return
+        self._emit(network, BUBBLE_DRAIN, router.node)
         action = state.fsm.on_bubble_reclaimed()
         if action != FsmAction.NONE:
             router.deactivate_bubble()
@@ -432,6 +493,10 @@ class StaticBubbleScheme(DeadlockScheme):
                     self._dispatch(network, router, state, action, now)
                 return []
             if msg.sender < router.node and state.fsm.state == FsmState.S_DD:
+                self._emit(
+                    network, SPECIAL_DROP, router.node,
+                    mtype=msg.mtype.name, sender=msg.sender, reason="id_race",
+                )
                 # Lower-id static bubble's probe while this node is itself
                 # detecting: this node wins the race (Section IV-B).  When
                 # this node is busy with another recovery (or its bubble
@@ -444,8 +509,16 @@ class StaticBubbleScheme(DeadlockScheme):
         # port is occupied; fork to the union of their requested outputs.
         vcs = router.cached_port_vcs(in_port)
         if not vcs or any(vc.packet is None for vc in vcs):
+            self._emit(
+                network, SPECIAL_DROP, router.node,
+                mtype=msg.mtype.name, sender=msg.sender, reason="port_not_full",
+            )
             return []
         if msg.at_capacity():
+            self._emit(
+                network, SPECIAL_DROP, router.node,
+                mtype=msg.mtype.name, sender=msg.sender, reason="capacity",
+            )
             return []
         outs = set()
         for vc in vcs:
@@ -488,8 +561,18 @@ class StaticBubbleScheme(DeadlockScheme):
             # always re-claimed and recovery completes.
             in_vcs = router.input_vcs[fsm.probe_in_port]
             if not in_vcs or any(vc.packet is None for vc in in_vcs):
+                self._emit(
+                    network, SPECIAL_DROP, router.node,
+                    mtype=msg.mtype.name, sender=msg.sender,
+                    reason="revalidation_failed",
+                )
                 return []
             if not router.vc_wants_output(fsm.probe_in_port, fsm.probe_out_port, now):
+                self._emit(
+                    network, SPECIAL_DROP, router.node,
+                    mtype=msg.mtype.name, sender=msg.sender,
+                    reason="revalidation_failed",
+                )
                 return []
             action = fsm.on_disable_returned()
             if action != FsmAction.NONE:
@@ -499,7 +582,12 @@ class StaticBubbleScheme(DeadlockScheme):
             return []
         out = apply_turn(msg.travel, msg.turns[0])
         if not router.vc_wants_output(in_port, out, now):
-            return []  # the dependence dissolved: drop, sender times out
+            # The dependence dissolved: drop, sender times out.
+            self._emit(
+                network, SPECIAL_DROP, router.node,
+                mtype=msg.mtype.name, sender=msg.sender, reason="chain_dissolved",
+            )
+            return []
         # A router whose single IO-priority buffer is already claimed —
         # sealed into another chain, or an SB node running its own
         # recovery — cannot install this chain's restriction.  The paper
@@ -512,6 +600,12 @@ class StaticBubbleScheme(DeadlockScheme):
         busy = router.is_deadlock or (state is not None and state.fsm.in_recovery())
         if not busy:
             router.set_io_restriction(in_port, out, msg.sender, now)
+            self._emit(
+                network, SEAL_INSTALL, router.node,
+                source=msg.sender,
+                in_port=Port(in_port).name,
+                out_port=Port(out).name,
+            )
             if state is not None:
                 state.fsm.on_foreign_disable()
         return [(out, msg.with_head_stripped(Port(out)))]
@@ -542,6 +636,10 @@ class StaticBubbleScheme(DeadlockScheme):
             return []
         out = apply_turn(msg.travel, msg.turns[0])
         if not router.vc_wants_output(in_port, out, now):
+            self._emit(
+                network, SPECIAL_DROP, router.node,
+                mtype=msg.mtype.name, sender=msg.sender, reason="chain_dissolved",
+            )
             return []
         return [(out, msg.with_head_stripped(Port(out)))]
 
@@ -560,6 +658,10 @@ class StaticBubbleScheme(DeadlockScheme):
             fsm = state.fsm
             if fsm.state != FsmState.S_ENABLE:
                 return []
+            if router.is_deadlock:
+                self._emit(
+                    network, SEAL_CLEAR, router.node, source=router.source_id
+                )
             router.clear_io_restriction()
             router.deactivate_bubble()
             any_active = any(vc.packet is not None for vc in self._compass_vcs(router))
@@ -576,6 +678,7 @@ class StaticBubbleScheme(DeadlockScheme):
         # the local recovery, and dropping it would leak stale seals along
         # the other chain (a liveness hole; see DESIGN.md §4).
         if router.source_id == msg.sender:
+            self._emit(network, SEAL_CLEAR, router.node, source=msg.sender)
             router.clear_io_restriction()
             if state is not None and not state.fsm.in_recovery():
                 any_active = any(

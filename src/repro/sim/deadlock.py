@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.core.turns import OPPOSITE_PORT, Port
+from repro.obs.events import ORACLE_DEADLOCK
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network
@@ -124,11 +125,24 @@ class DeadlockMonitor:
         self._last_check = 0
         self._last_crossbar_flits: Optional[int] = None
         self._skips = 0
+        #: Verdict of the most recent graph build, repeated on skip cycles
+        #: so the return value honours the contract below.
+        self._last_result = False
+        #: Last cycle at which a graph build found *no* wait cycle; bounds
+        #: how far back the deadlock could have formed unobserved.
+        self._last_clear_cycle: Optional[int] = None
 
     def check(self, network: "Network", now: int) -> bool:
-        """Run the detector if due; True iff a (new or old) cycle exists."""
+        """True iff a (new or old) wait cycle exists, as of the last build.
+
+        The graph is only rebuilt when the check is due (``interval``) and
+        the movement pre-check does not skip it; on skip cycles the verdict
+        of the most recent build is repeated, so a caller polling every
+        cycle keeps seeing True once a deadlock has been observed (until a
+        later build finds the network clear again).
+        """
         if now - self._last_check < self.interval:
-            return False
+            return self._last_result
         self._last_check = now
         flits = network.stats.crossbar_flits
         moved = (
@@ -138,15 +152,28 @@ class DeadlockMonitor:
         self._last_crossbar_flits = flits
         if moved and self._skips < self.max_skips:
             self._skips += 1
-            return False
+            return self._last_result
         self._skips = 0
         cycle = find_wait_cycle(network, now)
         if cycle is None:
+            self._last_clear_cycle = now
+            self._last_result = False
             return False
         new = [pid for pid in cycle if pid not in self.deadlocked_pids]
         if new:
             network.stats.deadlocks_observed += 1
             self.deadlocked_pids.update(cycle)
+            obs = getattr(network, "obs", None)
+            if obs is not None:
+                obs.emit(now, ORACLE_DEADLOCK, -1, {"pids": list(cycle), "new": new})
         if self.first_deadlock_cycle is None:
-            self.first_deadlock_cycle = now
+            # The cycle formed somewhere between the last clear build and
+            # now; backdate to the start of that blind window rather than
+            # stamping the (up to ``(max_skips + 1) * interval`` cycles
+            # late) detection time.
+            if self._last_clear_cycle is not None:
+                self.first_deadlock_cycle = self._last_clear_cycle + 1
+            else:
+                self.first_deadlock_cycle = 0
+        self._last_result = True
         return True

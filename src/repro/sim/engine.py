@@ -11,8 +11,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs import Observer, obs_enabled, proc_registry
 from repro.sim.deadlock import DeadlockMonitor
 from repro.sim.network import Network
+
+
+def _auto_observer(obs) -> Optional[Observer]:
+    """Resolve the effective observer for a run.
+
+    An explicit observer wins; otherwise, when ``REPRO_OBS`` is set, a
+    metrics-only observer bound to the per-process registry is created so
+    sweep counters aggregate across pool workers with no tracing cost.
+    """
+    if obs is not None:
+        return obs
+    if obs_enabled():
+        return Observer(trace=False, registry=proc_registry())
+    return None
 
 
 @dataclass
@@ -36,62 +51,94 @@ def run_with_window(
     measure: int,
     monitor: Optional[DeadlockMonitor] = None,
     stop_on_deadlock: bool = False,
+    obs=None,
 ) -> WindowResult:
-    """Warm up, then measure latency/throughput over ``measure`` cycles."""
-    deadlocked = False
-    for _ in range(warmup):
-        network.step()
-        if monitor is not None and monitor.check(network, network.cycle):
-            deadlocked = True
-            if stop_on_deadlock:
-                return WindowResult(0.0, 0.0, 0, True, network.cycle)
-    network.stats.begin_window(network.cycle)
-    for _ in range(measure):
-        network.step()
-        if monitor is not None and monitor.check(network, network.cycle):
-            deadlocked = True
-            if stop_on_deadlock:
-                break
-    stats = network.stats
-    return WindowResult(
-        avg_latency=stats.window_avg_latency(),
-        throughput_flits_node_cycle=stats.window_throughput(
-            network.cycle, len(network.nis)
-        ),
-        packets_ejected=stats.window_packets_ejected,
-        deadlocked=deadlocked,
-        cycles=network.cycle,
-    )
+    """Warm up, then measure latency/throughput over ``measure`` cycles.
+
+    ``obs``: an optional :class:`repro.obs.Observer`; it is attached
+    before the warm-up and finalized (terminal stats folded into its
+    metrics registry) before returning.  With no explicit observer the
+    ``REPRO_OBS`` switch attaches a metrics-only one (see
+    :func:`_auto_observer`).
+    """
+    obs = _auto_observer(obs)
+    if obs is not None:
+        network.attach_obs(obs)
+    try:
+        deadlocked = False
+        for _ in range(warmup):
+            network.step()
+            if monitor is not None and monitor.check(network, network.cycle):
+                deadlocked = True
+                if stop_on_deadlock:
+                    return WindowResult(0.0, 0.0, 0, True, network.cycle)
+        network.stats.begin_window(network.cycle)
+        for _ in range(measure):
+            network.step()
+            if monitor is not None and monitor.check(network, network.cycle):
+                deadlocked = True
+                if stop_on_deadlock:
+                    break
+        stats = network.stats
+        return WindowResult(
+            avg_latency=stats.window_avg_latency(),
+            throughput_flits_node_cycle=stats.window_throughput(
+                network.cycle, len(network.nis)
+            ),
+            packets_ejected=stats.window_packets_ejected,
+            deadlocked=deadlocked,
+            cycles=network.cycle,
+        )
+    finally:
+        if obs is not None:
+            obs.finalize(network)
 
 
-def run_to_drain(network: Network, max_cycles: int) -> Optional[int]:
+def run_to_drain(
+    network: Network, max_cycles: int, obs=None
+) -> Optional[int]:
     """Run until all traffic is delivered; cycle count, or None on timeout.
 
     Requires a finite traffic source (a trace); checks the source is
     exhausted and the network empty.
     """
-    idle_check_every = 8
-    for _ in range(max_cycles):
-        network.step()
-        if network.cycle % idle_check_every == 0:
-            traffic_done = network.traffic is None or network.traffic.exhausted(
-                network.cycle
-            )
-            if traffic_done and network.is_drained():
-                return network.cycle
-    return None
+    obs = _auto_observer(obs)
+    if obs is not None:
+        network.attach_obs(obs)
+    try:
+        idle_check_every = 8
+        for _ in range(max_cycles):
+            network.step()
+            if network.cycle % idle_check_every == 0:
+                traffic_done = network.traffic is None or network.traffic.exhausted(
+                    network.cycle
+                )
+                if traffic_done and network.is_drained():
+                    return network.cycle
+        return None
+    finally:
+        if obs is not None:
+            obs.finalize(network)
 
 
 def deadlocks_within(
     network: Network,
     cycles: int,
     monitor: Optional[DeadlockMonitor] = None,
+    obs=None,
 ) -> bool:
     """Does a true wait-for cycle appear within ``cycles``?  (Fig. 2/3)."""
     if monitor is None:
         monitor = DeadlockMonitor(interval=32)
-    for _ in range(cycles):
-        network.step()
-        if monitor.check(network, network.cycle):
-            return True
-    return False
+    obs = _auto_observer(obs)
+    if obs is not None:
+        network.attach_obs(obs)
+    try:
+        for _ in range(cycles):
+            network.step()
+            if monitor.check(network, network.cycle):
+                return True
+        return False
+    finally:
+        if obs is not None:
+            obs.finalize(network)

@@ -11,6 +11,12 @@ Per-cycle order (one ``step()``):
 3. Switch allocation at every occupied router (separable round-robin,
    one grant per input and output port) and the granted transfers.
 4. Scheme per-cycle work (SB counter FSMs / escape-VC diversion timers).
+   Specials launched here claim their link for the *next* cycle — this
+   cycle's switch allocation has already run (footnote 10 timing).
+
+An attached ``repro.obs.Observer`` (see ``attach_obs``) receives typed
+events from every phase plus an end-of-cycle sampling hook; when no
+observer is attached each emission site costs one attribute check.
 """
 
 from __future__ import annotations
@@ -19,6 +25,12 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.messages import MsgType, SpecialMessage
 from repro.core.turns import OPPOSITE_PORT, Port
+from repro.obs.events import (
+    PACKET_DROP,
+    PACKET_TRANSFER,
+    SPECIAL_DELIVER,
+    SPECIAL_SEND,
+)
 from repro.sim.config import SimConfig
 from repro.sim.ni import NetworkInterface
 from repro.sim.packet import Packet
@@ -56,6 +68,15 @@ class Network:
         self.stats = NetworkStats()
         self.cycle = 0
         self._rng = spawn_rng(seed, "network")
+        #: Attached observer (``repro.obs.Observer``) or None.  Every
+        #: emission site is gated on one ``is not None`` check, so an
+        #: unobserved network pays nothing beyond the attribute load.
+        self.obs = None
+        #: True while ``step()`` is past switch allocation for the current
+        #: cycle: a special launched then must claim the *next* cycle's
+        #: mux, because this cycle's arbitration has already happened
+        #: (paper footnote 10).
+        self._post_alloc = False
 
         # Routers for active nodes only.
         self.routers: Dict[int, Router] = {}
@@ -114,6 +135,19 @@ class Network:
     def router_at(self, node: int) -> Router:
         return self.routers[node]
 
+    def attach_obs(self, observer) -> None:
+        """Attach a ``repro.obs.Observer`` to this network.
+
+        Wires the observer into the NIs (inject/eject events, latency
+        histogram), the scheme (FSM transition tracing), and the per-cycle
+        sampling hook.  Detach by assigning ``network.obs = None``.
+        """
+        self.obs = observer
+        for ni in self._ni_list:
+            ni.obs = observer
+        observer.bind(self)
+        self.scheme.attach_obs(self, observer)
+
     def active_routers(self) -> List[Router]:
         return self._router_list
 
@@ -131,29 +165,62 @@ class Network:
     def send_special(self, from_node: int, out_port: int, msg: SpecialMessage) -> bool:
         """Launch a special message; False if the output link is absent.
 
-        The link is claimed for the current cycle (specials beat flits at
-        the output mux) and delivery is scheduled ``now + 2``.
+        The link is claimed for this message's allocation opportunity
+        (specials beat flits at the output mux, paper footnote 10) and
+        delivery is scheduled ``now + 2``.  The claimed cycle depends on
+        where in the cycle the send happens: before switch allocation
+        (special forwarding, phase 1) the claim covers the *current*
+        cycle; after it (``scheme.on_cycle``, phase 4 — FSM timeouts and
+        watchdog sends) the current cycle's arbitration has already run,
+        so the claim covers the next cycle instead — otherwise it would
+        expire without ever blocking a flit.
         """
         router = self.routers[from_node]
         link = router.output_links[out_port]
         if link is None or link.dest_node is None:
             return False
-        link.special_blocked_at = self.cycle
+        link.special_blocked_at = self.cycle + 1 if self._post_alloc else self.cycle
         self.stats.link_special_cycles[_SPECIAL_STAT_KEY[msg.mtype]] += 1
         arrival = self.cycle + 2
         self._special_arrivals.setdefault(arrival, []).append(
             (link.dest_node, OPPOSITE_PORT[out_port], msg)
         )
+        if self.obs is not None:
+            self.obs.emit(
+                self.cycle,
+                SPECIAL_SEND,
+                from_node,
+                {
+                    "mtype": msg.mtype.name,
+                    "sender": msg.sender,
+                    "out": Port(out_port).name,
+                    "turns": len(msg.turns),
+                    "arrival": arrival,
+                },
+            )
         return True
 
     def _deliver_specials(self, now: int) -> None:
         arrivals = self._special_arrivals.pop(now, None)
         if not arrivals:
             return
+        obs = self.obs
         by_router: Dict[int, List[Tuple[int, SpecialMessage]]] = {}
         for node, in_port, msg in arrivals:
             if node in self.routers:
                 by_router.setdefault(node, []).append((in_port, msg))
+                if obs is not None:
+                    obs.emit(
+                        now,
+                        SPECIAL_DELIVER,
+                        node,
+                        {
+                            "mtype": msg.mtype.name,
+                            "sender": msg.sender,
+                            "in_port": Port(in_port).name,
+                            "turns": len(msg.turns),
+                        },
+                    )
         for node, messages in by_router.items():
             self.scheme.process_specials(self, self.routers[node], messages, now)
 
@@ -182,7 +249,12 @@ class Network:
                     self._allocate_router(router, now)
                 else:
                     active.discard(node)
+        self._post_alloc = True
         self.scheme.on_cycle(self, now)
+        self._post_alloc = False
+        obs = self.obs
+        if obs is not None:
+            obs.end_cycle(self, now)
         self.stats.cycles += 1
         self.cycle += 1
 
@@ -197,6 +269,10 @@ class Network:
             ni = self.nis.get(src)
             if ni is None:
                 self.stats.packets_dropped_unreachable += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        now, PACKET_DROP, src, {"reason": "unreachable_src", "dst": dst}
+                    )
                 continue
             ni.create_packet(dst, vnet, size, now)
 
@@ -292,6 +368,18 @@ class Network:
             self.routers[link.dest_node].occupancy += 1
             if not packet.is_escape:
                 packet.hop += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    now,
+                    PACKET_TRANSFER,
+                    router.node,
+                    {
+                        "pid": packet.pid,
+                        "to": link.dest_node,
+                        "out": Port(out).name,
+                        "size": size,
+                    },
+                )
         if vc.kind == VC_BUBBLE:
             # A drained bubble may leave the port's VC membership (it is
             # only attached while active or occupied).

@@ -13,6 +13,7 @@ from collections import deque
 from typing import Deque, Optional, TYPE_CHECKING
 
 from repro.core.turns import Port
+from repro.obs.events import PACKET_DROP, PACKET_INJECT
 from repro.routing.table import RoutingTable
 from repro.sim.packet import Packet
 from repro.sim.stats import NetworkStats
@@ -44,6 +45,8 @@ class NetworkInterface:
         self.packets_refused = 0
         #: Optional callback invoked on every delivery (closed-loop traffic).
         self.eject_hook = None
+        #: Attached observer (set by ``Network.attach_obs``) or None.
+        self.obs = None
 
     def create_packet(
         self, dst: int, vnet: int, size: int, now: int
@@ -57,6 +60,10 @@ class NetworkInterface:
         route = self.table.pick_route(dst, self.rng)
         if route is None:
             self.stats.packets_dropped_unreachable += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    now, PACKET_DROP, self.node, {"reason": "unreachable", "dst": dst}
+                )
             return None
         if self.queue_cap and len(self.queue) >= self.queue_cap:
             self.packets_refused += 1
@@ -87,6 +94,19 @@ class NetworkInterface:
         self.stats.packets_injected += 1
         self.stats.flits_injected += packet.size
         self.stats.buffer_writes += packet.size
+        if self.obs is not None:
+            self.obs.emit(
+                now,
+                PACKET_INJECT,
+                self.node,
+                {
+                    "pid": packet.pid,
+                    "src": packet.src,
+                    "dst": packet.dst,
+                    "size": packet.size,
+                    "vnet": packet.vnet,
+                },
+            )
         return True
 
     def eject(self, packet: Packet, now: int) -> None:
@@ -100,5 +120,7 @@ class NetworkInterface:
         self.stats.latency_sum += latency
         self.stats.total_latency_sum += packet.ejected_at - packet.created_at
         self.stats.window_latency_sum += latency
+        if self.obs is not None:
+            self.obs.packet_ejected(packet, latency, now)
         if self.eject_hook is not None:
             self.eject_hook(packet, now)

@@ -48,6 +48,7 @@ class NetworkStats:
     check_probes_sent: int = 0
     bubble_activations: int = 0
     recoveries_completed: int = 0
+    recoveries_aborted: int = 0
     escape_diversions: int = 0
     #: Ground-truth deadlock observations (DeadlockMonitor).
     deadlocks_observed: int = 0
@@ -106,8 +107,11 @@ class NetworkStats:
             "cycles": self.cycles,
             "packets_injected": self.packets_injected,
             "packets_ejected": self.packets_ejected,
+            "packets_dropped_unreachable": self.packets_dropped_unreachable,
             "avg_latency": self.avg_latency,
             "probes_sent": self.probes_sent,
+            "bubble_activations": self.bubble_activations,
             "recoveries_completed": self.recoveries_completed,
+            "recoveries_aborted": self.recoveries_aborted,
             "deadlocks_observed": self.deadlocks_observed,
         }

@@ -1,4 +1,9 @@
-"""Shared fixtures and scenario builders for the test-suite."""
+"""Shared fixtures and scenario builders for the test-suite.
+
+The scenario builders live in :mod:`repro.sim.scenarios` (shared with
+the ``repro trace`` CLI); this module re-exports them so existing tests
+keep importing from ``tests.conftest``.
+"""
 
 from __future__ import annotations
 
@@ -6,51 +11,12 @@ import random
 
 import pytest
 
-from repro.core.turns import Port
-from repro.protocols.static_bubble import StaticBubbleScheme
-from repro.sim.config import SimConfig
-from repro.sim.network import Network
-from repro.sim.packet import Packet
+from repro.sim.scenarios import (  # noqa: F401  (re-exported for tests)
+    build_2x2_ring_deadlock,
+    build_fig6_walkthrough,
+    place_packet,
+)
 from repro.topology.mesh import mesh
-
-
-def place_packet(net: Network, node: int, in_port: Port, pid: int,
-                 src: int, dst: int, route, size: int = 1, vc_index: int = 0):
-    """Hand-place a packet into a router VC (for constructed deadlocks).
-
-    ``route`` is the full source route; ``hop`` is advanced to point at
-    the output port the packet wants at ``node``.
-    """
-    router = net.routers[node]
-    vc = router.input_vcs[in_port][vc_index]
-    assert vc.packet is None, "fixture VC already occupied"
-    packet = Packet(pid, src, dst, 0, size, tuple(route), 0)
-    packet.injected_at = 0
-    packet.hop = 1
-    vc.packet = packet
-    vc.ready_at = 0
-    router.occupancy += 1
-    return packet
-
-
-def build_2x2_ring_deadlock(scheme=None, t_dd: int = 5, vcs: int = 1):
-    """The canonical 4-packet clockwise ring deadlock on a 2x2 mesh.
-
-    Node layout: 0=(0,0) 1=(1,0) 2=(0,1) 3=(1,1); node 3 is the single
-    static-bubble router of a 2x2 mesh.  Each packet occupies the VC the
-    next one needs, so nothing can move without an extra buffer.
-    """
-    E, N, W, S, L = Port.EAST, Port.NORTH, Port.WEST, Port.SOUTH, Port.LOCAL
-    topo = mesh(2, 2)
-    config = SimConfig(width=2, height=2, vcs_per_vnet=vcs, sb_t_dd=t_dd)
-    if scheme is None:
-        scheme = StaticBubbleScheme()
-    net = Network(topo, config, scheme, traffic=None, seed=1)
-    place_packet(net, 1, W, 100, 0, 3, (E, N, L))   # at node 1, wants N
-    place_packet(net, 3, S, 101, 1, 2, (N, W, L))   # at node 3, wants W
-    place_packet(net, 2, E, 102, 3, 0, (W, S, L))   # at node 2, wants S
-    place_packet(net, 0, N, 103, 2, 1, (S, E, L))   # at node 0, wants E
-    return net, scheme
 
 
 @pytest.fixture

@@ -72,6 +72,67 @@ class TestMonitor:
             monitor.check(net, net.cycle)
         assert monitor.first_deadlock_cycle is None  # first check not due yet
 
+    def test_result_sticky_across_skip_cycles(self):
+        """Once a cycle has been observed, interval-skip checks must keep
+        returning True (the old contract returned False between builds)."""
+        net, _ = build_2x2_ring_deadlock(scheme=MinimalUnprotected())
+        monitor = DeadlockMonitor(interval=4)
+        results = []
+        for _ in range(12):
+            net.step()
+            results.append(monitor.check(net, net.cycle))
+        first_true = results.index(True)
+        assert all(results[first_true:]), (
+            f"verdict flapped after first detection: {results}"
+        )
+
+    def test_result_sticky_across_movement_skips(self):
+        """Movement pre-check skips must repeat the last verdict too."""
+        net, _ = build_2x2_ring_deadlock(scheme=MinimalUnprotected())
+        monitor = DeadlockMonitor(interval=1, max_skips=3)
+        net.step()
+        assert monitor.check(net, net.cycle)  # first due build detects
+        for _ in range(3):
+            net.step()
+            net.stats.crossbar_flits += 1  # traffic moving elsewhere
+            assert monitor.check(net, net.cycle)  # skip cycles stay True
+
+    def test_first_deadlock_cycle_backdated_to_blind_window(self):
+        """The constructed ring exists from cycle 0; detection at the
+        first due check must not stamp the (late) detection time."""
+        net, _ = build_2x2_ring_deadlock(scheme=MinimalUnprotected())
+        monitor = DeadlockMonitor(interval=16)
+        for _ in range(20):
+            net.step()
+            monitor.check(net, net.cycle)
+        # No clear build ever ran, so the deadlock is backdated to 0 —
+        # not the >= 16 cycle at which the first build happened.
+        assert monitor.first_deadlock_cycle == 0
+
+    def test_first_deadlock_cycle_after_clear_build(self):
+        """With a clear build on record, backdate to just after it."""
+        from repro.core.turns import Port
+        from tests.conftest import place_packet
+
+        E, N, W, S, L = Port.EAST, Port.NORTH, Port.WEST, Port.SOUTH, Port.LOCAL
+        topo = mesh(2, 2)
+        config = SimConfig(width=2, height=2, vcs_per_vnet=1)
+        net = Network(topo, config, MinimalUnprotected(), None, seed=1)
+        monitor = DeadlockMonitor(interval=4)
+        for _ in range(8):
+            net.step()
+            assert not monitor.check(net, net.cycle)  # empty: clear builds
+        last_clear = net.cycle  # a build ran at the final due cycle <= here
+        place_packet(net, 1, W, 100, 0, 3, (E, N, L))
+        place_packet(net, 3, S, 101, 1, 2, (N, W, L))
+        place_packet(net, 2, E, 102, 3, 0, (W, S, L))
+        place_packet(net, 0, N, 103, 2, 1, (S, E, L))
+        for _ in range(8):
+            net.step()
+            monitor.check(net, net.cycle)
+        assert monitor.first_deadlock_cycle is not None
+        assert 0 < monitor.first_deadlock_cycle <= last_clear + 1
+
 
 class TestEndToEnd:
     def test_high_load_faulty_mesh_deadlocks(self):

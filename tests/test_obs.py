@@ -1,0 +1,232 @@
+"""Tests for the repro.obs tracing layer: ring buffer, exporters,
+schema fidelity, transcript stitching, and the no-observer guarantee."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.fsm import CounterFsm, FsmState
+from repro.obs import (
+    EVENT_SCHEMA,
+    Event,
+    Observer,
+    Tracer,
+    chrome_trace_events,
+    recovery_transcripts,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.events import FSM_TRANSITION, ORACLE_DEADLOCK
+from repro.protocols.none import MinimalUnprotected
+from repro.sim.config import SimConfig
+from repro.sim.deadlock import DeadlockMonitor
+from repro.sim.network import Network
+from repro.sim.scenarios import build_2x2_ring_deadlock, build_fig6_walkthrough
+from repro.topology.faults import inject_link_faults
+from repro.topology.mesh import mesh
+from repro.traffic.synthetic import UniformRandomTraffic
+
+import random
+
+
+def _traced_fig6(cycles=400):
+    net, scheme = build_fig6_walkthrough()
+    obs = Observer()
+    net.attach_obs(obs)
+    for _ in range(cycles):
+        net.step()
+    obs.finalize(net)
+    return net, scheme, obs
+
+
+class TestTracer:
+    def test_ring_buffer_is_bounded(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.emit(i, "packet.inject", 0, {"pid": i})
+        assert len(tracer) == 4
+        assert tracer.emitted == 10
+        assert [e.data["pid"] for e in tracer.events] == [6, 7, 8, 9]
+
+    def test_event_round_trip(self):
+        event = Event(7, "packet.eject", 3, {"pid": 1, "latency": 12})
+        d = event.to_dict()
+        assert d == {
+            "cycle": 7, "kind": "packet.eject", "node": 3,
+            "pid": 1, "latency": 12,
+        }
+
+
+class TestSchemaFidelity:
+    def test_every_emitted_event_matches_schema(self):
+        """Every kind is registered and carries exactly its schema keys."""
+        _, _, obs = _traced_fig6()
+        seen = set()
+        for event in obs.events:
+            assert event.kind in EVENT_SCHEMA, event
+            assert set(event.data) == set(EVENT_SCHEMA[event.kind]), event
+            seen.add(event.kind)
+        # The walkthrough exercises the full recovery vocabulary.
+        for kind in (
+            "special.send", "special.deliver", "fsm.transition",
+            "seal.install", "bubble.activate", "bubble.drain",
+            "recovery.done", "packet.eject", "packet.transfer",
+        ):
+            assert kind in seen, f"{kind} never emitted"
+
+    def test_random_traffic_events_match_schema(self):
+        topo = inject_link_faults(mesh(4, 4), 3, random.Random(7))
+        config = SimConfig(width=4, height=4, vcs_per_vnet=2, sb_t_dd=16)
+        from repro.protocols.static_bubble import StaticBubbleScheme
+
+        traffic = UniformRandomTraffic(topo, rate=0.4, seed=7)
+        net = Network(topo, config, StaticBubbleScheme(), traffic, seed=7)
+        obs = Observer(ring_capacity=200_000)
+        net.attach_obs(obs)
+        for _ in range(600):
+            net.step()
+        for event in obs.events:
+            assert event.kind in EVENT_SCHEMA
+            assert set(event.data) == set(EVENT_SCHEMA[event.kind]), event
+
+
+class TestExporters:
+    def test_jsonl_export(self, tmp_path):
+        _, _, obs = _traced_fig6()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(obs.events, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(obs.events)
+        for line in lines:
+            record = json.loads(line)
+            assert {"cycle", "kind", "node"} <= set(record)
+
+    def test_chrome_trace_export(self, tmp_path):
+        _, _, obs = _traced_fig6()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(obs.events, path)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        phases = {e["ph"] for e in events}
+        assert "M" in phases  # thread names
+        assert "X" in phases  # FSM state slices
+        assert "i" in phases  # instants
+        for e in events:
+            assert {"ph", "pid", "tid"} <= set(e)
+
+    def test_fsm_slices_cover_recovery_states(self):
+        _, _, obs = _traced_fig6()
+        slices = [e for e in chrome_trace_events(obs.events) if e["ph"] == "X"]
+        names = {e["name"] for e in slices}
+        assert {"S_DISABLE", "S_SB_ACTIVE"} <= names
+        for e in slices:
+            assert e["dur"] >= 1
+
+
+class TestTranscripts:
+    def test_fig6_walkthrough_yields_complete_transcript(self):
+        """Acceptance: >= 1 complete probe -> disable -> activate ->
+        check_probe -> enable lifecycle, stitched with cycle stamps."""
+        _, _, obs = _traced_fig6()
+        transcripts = obs.transcripts()
+        assert len(transcripts) == 1
+        t = transcripts[0]
+        assert t.node == 5
+        assert t.completed and not t.aborted and not t.open
+        assert t.is_full_handshake()
+        assert t.sent_mtypes()[0] == "PROBE"
+        assert t.start_cycle < t.end_cycle
+        cycles = [e.cycle for e in t.events]
+        assert cycles == sorted(cycles)
+
+    def test_transcripts_survive_jsonl_round_trip(self, tmp_path):
+        _, _, obs = _traced_fig6()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(obs.events, path)
+        events = []
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            events.append(
+                Event(
+                    record.pop("cycle"), record.pop("kind"),
+                    record.pop("node"), record,
+                )
+            )
+        transcripts = recovery_transcripts(events)
+        assert len(transcripts) == 1
+        assert transcripts[0].is_full_handshake()
+
+    def test_open_transcript_reported_in_flight(self):
+        net, scheme = build_fig6_walkthrough()
+        obs = Observer()
+        net.attach_obs(obs)
+        fsm = scheme.states[5].fsm
+        while fsm.state != FsmState.S_SB_ACTIVE:
+            net.step()
+        transcripts = obs.transcripts()
+        assert len(transcripts) == 1
+        assert transcripts[0].open and not transcripts[0].completed
+        assert "in flight" in transcripts[0].describe()
+
+
+class TestFsmTraceHook:
+    def test_transition_invokes_hook_once_per_change(self):
+        calls = []
+        fsm = CounterFsm(0, t_dd=4)
+        fsm.trace = lambda f, old, new: calls.append((old, new))
+        fsm.transition(FsmState.S_DD)
+        fsm.transition(FsmState.S_DD)  # no-op: same state
+        fsm.transition(FsmState.S_OFF)
+        assert calls == [
+            (FsmState.S_OFF, FsmState.S_DD),
+            (FsmState.S_DD, FsmState.S_OFF),
+        ]
+
+
+class TestOracleEvents:
+    def test_monitor_emits_oracle_deadlock(self):
+        net, _ = build_2x2_ring_deadlock(scheme=MinimalUnprotected())
+        obs = Observer()
+        net.attach_obs(obs)
+        monitor = DeadlockMonitor(interval=2)
+        for _ in range(10):
+            net.step()
+            monitor.check(net, net.cycle)
+        hits = [e for e in obs.events if e.kind == ORACLE_DEADLOCK]
+        assert len(hits) == 1  # counted once, not per re-check
+        assert hits[0].node == -1
+        assert sorted(hits[0].data["pids"]) == [100, 101, 102, 103]
+        assert sorted(hits[0].data["new"]) == [100, 101, 102, 103]
+
+
+class TestNoObserverNeutrality:
+    def test_run_identical_with_and_without_observer(self):
+        """Attaching an observer must not perturb simulation results."""
+        plain, _ = build_fig6_walkthrough()
+        traced, _ = build_fig6_walkthrough()
+        obs = Observer()
+        traced.attach_obs(obs)
+        for _ in range(400):
+            plain.step()
+            traced.step()
+        assert plain.stats.summary() == traced.stats.summary()
+
+    def test_random_traffic_identical_with_observer(self):
+        def build():
+            topo = inject_link_faults(mesh(4, 4), 2, random.Random(3))
+            config = SimConfig(width=4, height=4, vcs_per_vnet=2)
+            from repro.protocols.static_bubble import StaticBubbleScheme
+
+            traffic = UniformRandomTraffic(topo, rate=0.2, seed=3)
+            return Network(topo, config, StaticBubbleScheme(), traffic, seed=3)
+
+        plain, traced = build(), build()
+        traced.attach_obs(Observer())
+        for _ in range(400):
+            plain.step()
+            traced.step()
+        assert plain.stats.summary() == traced.stats.summary()
+        assert plain.cycle == traced.cycle

@@ -57,6 +57,61 @@ class TestSpecialMessageTiming:
         assert net.stats.link_special_cycles["probe"] == 1
 
 
+class _SendFromOnCycle(MinimalUnprotected):
+    """Stub scheme that launches one probe from phase-4 ``on_cycle``."""
+
+    def __init__(self, send_at: int):
+        self.send_at = send_at
+        self.claimed_for = None
+
+    def on_cycle(self, network, now):
+        if now == self.send_at:
+            network.send_special(0, Port.EAST, make_probe(0, Port.EAST))
+            self.claimed_for = network.routers[0].output_links[Port.EAST].special_blocked_at
+
+
+class TestFootnote10PhaseTiming:
+    """Specials claim the allocation opportunity they can actually win.
+
+    ``scheme.on_cycle`` runs *after* switch allocation; a special sent
+    from there used to claim the already-arbitrated current cycle, so the
+    claim expired without ever blocking a flit (an off-by-one against the
+    paper's footnote 10).  The claim must cover the next cycle instead.
+    """
+
+    def _network(self, send_at):
+        topo = mesh(2, 1)
+        config = SimConfig(width=2, height=1)
+        trace = TraceTraffic([(0, 0, 1, 0, 1)])
+        scheme = _SendFromOnCycle(send_at)
+        net = Network(topo, config, scheme, trace, seed=1)
+        return net, scheme
+
+    def test_on_cycle_send_claims_next_cycle(self):
+        net, scheme = self._network(send_at=0)
+        link = net.routers[0].output_links[E]
+        net.step()  # cycle 0: flit injected (ready at 1); probe sent post-alloc
+        assert scheme.claimed_for == 1
+        assert not link.is_free(1)
+
+    def test_flit_loses_arbitration_to_on_cycle_special(self):
+        # The flit becomes switchable at cycle 1, exactly when the
+        # phase-4 special's claim lands: the transfer must slip to 2.
+        net, _ = self._network(send_at=0)
+        net.step()  # cycle 0
+        net.step()  # cycle 1: flit loses the output mux to the special
+        assert net.stats.crossbar_flits == 0
+        net.step()  # cycle 2: flit goes through
+        assert net.stats.crossbar_flits == 1
+
+    def test_without_contention_flit_moves_at_one(self):
+        # Control: same traffic, special sent far in the future.
+        net, _ = self._network(send_at=10_000)
+        net.step()
+        net.step()
+        assert net.stats.crossbar_flits == 1
+
+
 class TestSerialization:
     @pytest.mark.parametrize("size", [1, 3, 5])
     def test_link_busy_for_packet_size(self, size):

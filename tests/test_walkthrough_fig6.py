@@ -17,44 +17,10 @@ import pytest
 from repro.core.fsm import FsmState
 from repro.core.messages import MsgType
 from repro.core.turns import Port, Turn
-from repro.protocols.static_bubble import StaticBubbleScheme
-from repro.sim.config import SimConfig
 from repro.sim.deadlock import find_wait_cycle
-from repro.sim.network import Network
-from repro.topology.mesh import mesh
-
-from tests.conftest import place_packet
+from repro.sim.scenarios import build_fig6_walkthrough as build_fig6_network
 
 E, N, W, S, L = Port.EAST, Port.NORTH, Port.WEST, Port.SOUTH, Port.LOCAL
-
-
-def build_fig6_network(t_dd: int = 6):
-    topo = mesh(4, 2)
-    config = SimConfig(width=4, height=2, vcs_per_vnet=2, sb_t_dd=t_dd)
-    scheme = StaticBubbleScheme()
-    net = Network(topo, config, scheme, traffic=None, seed=1)
-    assert set(scheme.states) == {5, 7}
-
-    # (node, in_port, wants) around the ring; each port carries two
-    # packets (the paper's (A,B) / (E,F) / ... pairs).
-    ring = [
-        (1, W, E),  # packets A, B
-        (2, W, N),  # packets C, D
-        (6, S, W),  # packets E, F
-        (5, E, W),  # packets G, H  <- the static-bubble router
-        (4, E, S),  # packets I, J
-        (0, N, E),  # packets K, Z
-    ]
-    pid = 500
-    for node, in_port, wants in ring:
-        dst = topo.neighbor(node, wants)
-        for vc_index in range(2):
-            place_packet(
-                net, node, in_port, pid, src=node, dst=dst,
-                route=(E, wants, L), vc_index=vc_index,
-            )
-            pid += 1
-    return net, scheme
 
 
 class TestFig6Walkthrough:
