@@ -13,6 +13,10 @@ Commands:
 * ``trace`` — run a scenario or synthetic simulation with the tracing
   observer attached; export JSONL / Chrome ``trace_event`` files and
   print the stitched recovery transcripts.
+* ``chaos`` — sweep random live-fault schedules (mid-run link/router
+  failures and restores applied in place) across the schemes and check
+  packet conservation; ``--check`` exits nonzero on any undrained run or
+  unaccounted packet (the CI smoke gate).
 * ``schemes`` — list the available deadlock-freedom schemes.
 """
 
@@ -135,6 +139,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import chaos
+
+    params = chaos.ChaosParams.full() if args.full else chaos.ChaosParams.quick()
+    if args.campaigns is not None:
+        params.campaigns = args.campaigns
+    if args.events is not None:
+        params.events = args.events
+    if args.width is not None:
+        params.width = args.width
+    if args.height is not None:
+        params.height = args.height
+    params.seed = args.seed
+    params.workers = args.workers
+    result = chaos.run(params)
+    print(chaos.report(result))
+    if args.check and not result.ok:
+        return 1
+    return 0
+
+
 def _scheme_in_recovery(scheme) -> bool:
     states = getattr(scheme, "states", None)
     if not states:
@@ -245,6 +270,33 @@ def build_parser() -> argparse.ArgumentParser:
         "and print them after the report",
     )
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "chaos",
+        help="random live-fault campaigns with packet-conservation checks",
+    )
+    p.add_argument(
+        "--full",
+        action="store_true",
+        help="8x8 mesh, more/longer campaigns instead of the quick smoke",
+    )
+    p.add_argument("--campaigns", type=int, default=None, help="schedules per scheme")
+    p.add_argument("--events", type=int, default=None, help="fault events per schedule")
+    p.add_argument("--width", type=int, default=None)
+    p.add_argument("--height", type=int, default=None)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_WORKERS, else cpu_count()-1)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every campaign drained with zero unaccounted packets",
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "trace", help="run with the tracing observer and export traces"

@@ -209,6 +209,20 @@ class CounterFsm:
         self._restart(recovery_threshold(len(self.turn_buffer)))
         return FsmAction.SEND_CHECK_PROBE
 
+    def on_bubble_stuck(self) -> FsmAction:
+        """The claimed bubble's resident has not moved for the bubble
+        timeout: it is wedged in a *different* dependency cycle (deadlock
+        web), so this chain's hole will never circulate back.  Give the
+        chain up the same way a failed check_probe does — replay an enable
+        to tear the seals down, then resume detection on the web as it now
+        is."""
+        if self.state != FsmState.S_SB_ACTIVE:
+            return FsmAction.NONE
+        self.transition(FsmState.S_ENABLE)
+        self.enable_retries = 0
+        self._restart(recovery_threshold(len(self.turn_buffer)))
+        return FsmAction.SEND_ENABLE
+
     def on_check_probe_returned(self) -> FsmAction:
         if self.state != FsmState.S_CHECK_PROBE:
             return FsmAction.NONE
@@ -227,6 +241,18 @@ class CounterFsm:
         """Give up on a recovery whose enable keeps getting lost."""
         self._finish_recovery(any_vc_active)
         self.recoveries_aborted += 1
+
+    def reset(self, any_vc_active: bool) -> None:
+        """Administrative reset (live reconfiguration).
+
+        Used when a topology change invalidates a latched path — the
+        traced chain no longer exists as wiring, so the protocol cannot
+        run its normal enable teardown over it.  Unlike
+        :meth:`abort_recovery` this counts neither a completed nor an
+        aborted recovery: the recovery was cancelled from outside the
+        protocol, not resolved by it.
+        """
+        self._finish_recovery(any_vc_active)
 
     def _finish_recovery(self, any_vc_active: bool) -> None:
         self.turn_buffer = ()

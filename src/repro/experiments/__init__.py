@@ -6,6 +6,7 @@ configurations and prints the same rows the paper's figures show.
 """
 
 from repro.experiments import (
+    chaos,
     fig2_deadlock_prone,
     fig3_heatmap,
     fig8_latency,
@@ -27,10 +28,12 @@ ALL_EXPERIMENTS = {
     "fig12": fig12_rodinia,
     "fig13": fig13_parsec,
     "table1": table1_cost,
+    "chaos": chaos,
 }
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "chaos",
     "fig2_deadlock_prone",
     "fig3_heatmap",
     "fig8_latency",

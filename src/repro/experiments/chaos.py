@@ -1,0 +1,204 @@
+"""Chaos campaign: random live-fault schedules against every scheme.
+
+Not a paper figure — a robustness harness for the live-reconfiguration
+subsystem (``Network.apply_faults`` / ``Network.restore``).  Each
+campaign builds a random :class:`~repro.topology.faults.FaultSchedule`
+(mid-run link/router failures, occasional restores) and drives it
+against one scheme on a healthy mesh with synthetic traffic, then drains
+and checks packet conservation: every created packet must be delivered,
+explicitly dropped by a reconfiguration, or still queued/buffered when
+the run times out.  A nonzero ``unaccounted`` count or a failure to
+drain is a bug in the reconfiguration machinery, not a property of the
+scheme under test.
+
+Campaigns fan out over the process pool (one job per scheme x schedule),
+with per-job seeds derived from identity so results are independent of
+worker count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.common import SCHEME_ORDER, fan_out
+from repro.parallel import job_seed
+from repro.protocols import make_scheme
+from repro.sim.config import SimConfig
+from repro.sim.engine import run_with_faults
+from repro.sim.network import Network
+from repro.topology.faults import random_fault_schedule
+from repro.topology.mesh import mesh
+from repro.traffic.synthetic import make_pattern
+from repro.utils.reporting import Reporter
+
+
+@dataclass
+class ChaosParams:
+    width: int = 6
+    height: int = 6
+    schemes: List[str] = field(default_factory=lambda: list(SCHEME_ORDER))
+    #: Random fault schedules per scheme.
+    campaigns: int = 8
+    #: Fault events per schedule.
+    events: int = 6
+    pattern: str = "uniform_random"
+    rate: float = 0.08
+    #: Cycles of injected traffic before the drain phase.
+    traffic_cycles: int = 1500
+    #: Hard cap on the whole run (faults + drain).
+    max_cycles: int = 10000
+    vcs_per_vnet: int = 2
+    seed: int = 42
+    #: Worker processes for the sweep (None -> REPRO_WORKERS / cpu-1).
+    workers: Optional[int] = None
+
+    @classmethod
+    def quick(cls) -> "ChaosParams":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "ChaosParams":
+        return cls(
+            width=8,
+            height=8,
+            campaigns=32,
+            events=10,
+            traffic_cycles=4000,
+            max_cycles=30000,
+        )
+
+
+@dataclass
+class ChaosCampaignResult:
+    scheme: str
+    campaign: int
+    drained: bool
+    cycles: int
+    reconfig_events: int
+    created: int
+    ejected: int
+    dropped_reconfig: int
+    rerouted: int
+    specials_dropped: int
+    unaccounted: int
+
+
+@dataclass
+class ChaosResult:
+    params: ChaosParams
+    campaigns: List[ChaosCampaignResult]
+
+    @property
+    def all_drained(self) -> bool:
+        return all(c.drained for c in self.campaigns)
+
+    @property
+    def total_unaccounted(self) -> int:
+        return sum(abs(c.unaccounted) for c in self.campaigns)
+
+    @property
+    def ok(self) -> bool:
+        """The pass/fail verdict ``repro chaos --check`` gates CI on."""
+        return self.all_drained and self.total_unaccounted == 0
+
+
+def _chaos_job(scheme_name: str, campaign: int, params: ChaosParams) -> ChaosCampaignResult:
+    seed = job_seed(params.seed, "chaos", scheme_name, campaign)
+    rng = random.Random(seed)
+    topo = mesh(params.width, params.height)
+    schedule = random_fault_schedule(
+        topo,
+        params.events,
+        rng,
+        first_cycle=100,
+        spacing=max(50, params.traffic_cycles // max(1, params.events)),
+    )
+    config = SimConfig(
+        width=params.width,
+        height=params.height,
+        vcs_per_vnet=params.vcs_per_vnet,
+    )
+    traffic = make_pattern(
+        params.pattern,
+        topo,
+        params.rate,
+        seed=seed,
+        vnets=config.vnets,
+        data_flits=config.data_packet_flits,
+        ctrl_flits=config.ctrl_packet_flits,
+    )
+    network = Network(topo, config, make_scheme(scheme_name), traffic, seed=seed)
+    result = run_with_faults(
+        network,
+        schedule,
+        params.max_cycles,
+        stop_traffic_at=params.traffic_cycles,
+    )
+    return ChaosCampaignResult(
+        scheme=scheme_name,
+        campaign=campaign,
+        drained=result.drained,
+        cycles=result.cycles,
+        reconfig_events=result.reconfig_events,
+        created=result.created,
+        ejected=result.ejected,
+        dropped_reconfig=result.dropped_reconfig,
+        rerouted=result.rerouted,
+        specials_dropped=result.specials_dropped,
+        unaccounted=result.unaccounted,
+    )
+
+
+def run(params: ChaosParams) -> ChaosResult:
+    argslist = [
+        (scheme, campaign, params)
+        for scheme in params.schemes
+        for campaign in range(params.campaigns)
+    ]
+    outcomes = fan_out(_chaos_job, argslist, workers=params.workers)
+    return ChaosResult(params, list(outcomes))
+
+
+def report(result: ChaosResult) -> str:
+    rep = Reporter(
+        "Chaos campaign — live reconfiguration under random fault schedules"
+    )
+    by_scheme: Dict[str, List[ChaosCampaignResult]] = {}
+    for campaign in result.campaigns:
+        by_scheme.setdefault(campaign.scheme, []).append(campaign)
+    rows = []
+    for scheme, campaigns in by_scheme.items():
+        rows.append(
+            [
+                scheme,
+                f"{sum(c.drained for c in campaigns)}/{len(campaigns)}",
+                sum(c.reconfig_events for c in campaigns),
+                sum(c.created for c in campaigns),
+                sum(c.ejected for c in campaigns),
+                sum(c.dropped_reconfig for c in campaigns),
+                sum(c.rerouted for c in campaigns),
+                sum(abs(c.unaccounted) for c in campaigns),
+            ]
+        )
+    rep.table(
+        [
+            "scheme",
+            "drained",
+            "reconfigs",
+            "created",
+            "ejected",
+            "dropped",
+            "rerouted",
+            "unaccounted",
+        ],
+        rows,
+    )
+    rep.line(
+        "verdict: "
+        + ("OK — all campaigns drained, zero unaccounted packets"
+           if result.ok
+           else "FAIL — undrained campaigns or unaccounted packets")
+    )
+    return rep.text()

@@ -26,6 +26,11 @@ SPECIAL_SEND = "special.send"
 SPECIAL_DELIVER = "special.deliver"
 SPECIAL_DROP = "special.drop"
 
+# -- live reconfiguration ----------------------------------------------------
+RECONFIG_APPLY = "reconfig.apply"
+RECONFIG_RESTORE = "reconfig.restore"
+PACKET_REROUTE = "packet.reroute"
+
 # -- recovery FSM / protocol state -----------------------------------------
 FSM_TRANSITION = "fsm.transition"
 BUBBLE_ACTIVATE = "bubble.activate"
@@ -62,7 +67,25 @@ EVENT_SCHEMA: Dict[str, Dict[str, str]] = {
         "latency": "network latency (cycles)",
         "total_latency": "latency incl. source queueing (cycles)",
     },
-    PACKET_DROP: {"reason": "unreachable | unreachable_src", "dst": "destination"},
+    PACKET_DROP: {
+        "reason": "unreachable | unreachable_src | dead_router | "
+        "reconfig_unreachable",
+        "dst": "destination",
+    },
+    PACKET_REROUTE: {"pid": "packet id", "dst": "destination node"},
+    RECONFIG_APPLY: {
+        "links": "links deactivated",
+        "routers": "routers deactivated",
+        "dropped": "packets dropped (dead router / unreachable destination)",
+        "rerouted": "in-flight packets re-routed onto surviving paths",
+        "specials_cancelled": "in-flight special messages discarded",
+        "seals_cleared": "IO-priority restrictions removed",
+        "fsms_reset": "recovery FSMs administratively reset",
+    },
+    RECONFIG_RESTORE: {
+        "links": "links reactivated",
+        "routers": "routers reactivated",
+    },
     SPECIAL_SEND: {
         "mtype": "PROBE | DISABLE | ENABLE | CHECK_PROBE",
         "sender": "originating static-bubble node",
@@ -80,7 +103,7 @@ EVENT_SCHEMA: Dict[str, Dict[str, str]] = {
         "mtype": "message type",
         "sender": "originating static-bubble node",
         "reason": "capacity | port_not_full | id_race | chain_dissolved | "
-        "revalidation_failed",
+        "revalidation_failed | dead_router | dead_link",
     },
     FSM_TRANSITION: {"from_state": "previous FsmState", "to_state": "new FsmState"},
     BUBBLE_ACTIVATE: {"in_port": "chain input port name"},

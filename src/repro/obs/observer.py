@@ -154,6 +154,9 @@ class Observer:
             "packets_injected",
             "packets_ejected",
             "packets_dropped_unreachable",
+            "packets_dropped_reconfig",
+            "packets_rerouted",
+            "specials_dropped",
             "probes_sent",
             "disables_sent",
             "enables_sent",

@@ -28,6 +28,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -78,14 +79,27 @@ def job_seed(base_seed: int, *labels: object) -> int:
     return derive_seed(base_seed, "job", *labels)
 
 
+#: One-shot guard so a sweep dispatching thousands of jobs warns once.
+_warned_invalid_workers = False
+
+
 def default_workers() -> int:
     """``REPRO_WORKERS`` if set and valid, else ``os.cpu_count() - 1``."""
+    global _warned_invalid_workers
     env = os.environ.get(WORKERS_ENV_VAR)
     if env:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            # A typo'd value must not quietly serialize (or mis-size) a
+            # sweep: say so once, then fall through to the default.
+            if not _warned_invalid_workers:
+                _warned_invalid_workers = True
+                print(
+                    f"repro: ignoring invalid {WORKERS_ENV_VAR}={env!r} "
+                    "(not an integer); using cpu_count()-1",
+                    file=sys.stderr,
+                )
     return max(1, (os.cpu_count() or 2) - 1)
 
 

@@ -70,6 +70,26 @@ class DeadlockScheme:
     def on_bubble_drained(self, network: "Network", router: "Router", now: int) -> None:
         """A packet left the static bubble VC (SB scheme only)."""
 
+    def on_topology_changed(
+        self,
+        network: "Network",
+        added: Sequence[int],
+        removed: Sequence[int],
+        now: int,
+    ) -> Dict[str, int]:
+        """Reconcile protocol state after a *live* topology change.
+
+        Called by ``Network.apply_faults`` / ``Network.restore`` after the
+        topology has been mutated, dead routers torn down (``removed``) or
+        fresh ones built (``added``), and routing tables rebuilt — but
+        before packets are re-routed.  Schemes drop state owned by dead
+        routers, re-provision augmentation on restored ones, and clean up
+        any protocol structure (seals, recovery FSMs) that straddles a
+        dead element.  Returns summary counts for the ``reconfig.apply``
+        event (recognised keys: ``seals_cleared``, ``fsms_reset``).
+        """
+        return {}
+
     def extra_vcs_per_router(self, node: int, config: SimConfig) -> int:
         """Buffers this scheme adds at ``node`` beyond the baseline router.
 

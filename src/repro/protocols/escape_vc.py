@@ -71,6 +71,16 @@ class EscapeVcRecovery(DeadlockScheme):
             return Port.LOCAL
         return table[dst]
 
+    def on_topology_changed(self, network, added, removed, now):
+        # ``build_tables`` (already re-run by the network) rebuilt the
+        # escape tables for the new topology; restored routers just need
+        # their escape layer provisioned like ``setup`` did.
+        for node in added:
+            router = network.routers[node]
+            router.add_escape_vcs(reserve_existing=self.reserve_existing)
+            router._escape_lookup = self._lookup
+        return {}
+
     def on_cycle(self, network: "Network", now: int) -> None:
         """Divert packets stalled beyond the detection threshold.
 

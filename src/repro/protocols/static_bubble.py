@@ -136,6 +136,112 @@ class StaticBubbleScheme(DeadlockScheme):
     def is_sb_router(self, node: int) -> bool:
         return node in self.states
 
+    # -- live reconfiguration ----------------------------------------------
+
+    def on_topology_changed(self, network, added, removed, now):
+        """Reconcile SB protocol state with a live topology change.
+
+        Three structures can straddle a dead element and must not be left
+        dangling (the protocol itself cannot clean them up, because its
+        cleanup vehicle — the enable replaying the turn path — can no
+        longer traverse that path):
+
+        * FSM state owned by a removed router (discarded with it);
+        * a recovery whose latched turn path crosses a dead link/router:
+          the owner FSM is administratively reset and its bubble
+          deactivated;
+        * IO-priority seals installed by a now-dead or now-reset sender:
+          cleared at every surviving router, as the matching enable will
+          never arrive.
+        """
+        config = network.config
+        removed_set = set(removed)
+        for node in removed_set:
+            self.states.pop(node, None)
+
+        if added:
+            t_dd = self._t_dd_override or config.sb_t_dd
+            if self.placement_override is not None:
+                sb_nodes = set(self.placement_override)
+            else:
+                sb_nodes = placement_node_ids(config.width, config.height)
+            provisioned = False
+            for node in added:
+                if node not in sb_nodes:
+                    continue
+                router = network.routers[node]
+                router.add_static_bubble()
+                stagger = (node * 7) % 13
+                fsm = CounterFsm(
+                    node,
+                    t_dd + stagger,
+                    max_enable_retries=config.sb_enable_retries,
+                )
+                self.states[node] = _SbRouterState(fsm)
+                provisioned = True
+            if provisioned and network.obs is not None:
+                self.attach_obs(network, network.obs)
+
+        fsms_reset = 0
+        broken_senders = set(removed_set)
+        for node, state in self.states.items():
+            fsm = state.fsm
+            if not fsm.in_recovery():
+                continue
+            if self._path_intact(network.topo, node, fsm):
+                continue
+            broken_senders.add(node)
+            router = network.routers[node]
+            router.deactivate_bubble()
+            any_active = any(
+                vc.packet is not None for vc in self._compass_vcs(router)
+            )
+            fsm.reset(any_active)
+            fsms_reset += 1
+
+        seals_cleared = 0
+        for router in network.active_routers():
+            if not router.is_deadlock or router.source_id not in broken_senders:
+                continue
+            self._emit(network, SEAL_CLEAR, router.node, source=router.source_id)
+            router.clear_io_restriction()
+            seals_cleared += 1
+            state = self.states.get(router.node)
+            if state is not None and not state.fsm.in_recovery():
+                # Parked S_OFF by the (now unreachable) foreign disable:
+                # resume watching as a real enable would have done.
+                any_active = any(
+                    vc.packet is not None for vc in self._compass_vcs(router)
+                )
+                state.fsm.on_foreign_enable(any_active)
+        return {"seals_cleared": seals_cleared, "fsms_reset": fsms_reset}
+
+    @staticmethod
+    def _path_intact(topo, node: int, fsm: CounterFsm) -> bool:
+        """Does the FSM's latched recovery loop still exist as wiring?
+
+        Replays the turn buffer geometrically: ``len(turns) + 1`` link
+        hops starting out of ``probe_out_port``, turning at each
+        intermediate router, ending back at ``node``.
+        """
+        if fsm.probe_out_port is None:
+            return True
+        travel = Port(fsm.probe_out_port)
+        current = node
+        turns = fsm.turn_buffer
+        for i in range(len(turns) + 1):
+            nxt = topo.neighbor(current, travel)
+            if (
+                nxt is None
+                or not topo.link_is_active(current, nxt)
+                or not topo.node_is_active(nxt)
+            ):
+                return False
+            current = nxt
+            if i < len(turns):
+                travel = apply_turn(travel, turns[i])
+        return True
+
     def attach_obs(self, network: "Network", observer) -> None:
         """Install FSM transition tracing (called by ``attach_obs``)."""
 
@@ -221,16 +327,36 @@ class StaticBubbleScheme(DeadlockScheme):
         if bubble is None or bubble.packet is None or now < bubble.ready_at:
             return
         resident = bubble.packet
-        for vc in router.input_vcs[bubble.port]:
-            if vc.kind == VC_NORMAL and vc.vnet == resident.vnet and vc.is_free(now):
-                vc.packet = resident
-                vc.ready_at = now + 1
-                bubble.packet = None
-                bubble.free_at = now + 1
-                router.invalidate_vc_cache()
-                self._emit(network, BUBBLE_RELOCATE, router.node, pid=resident.pid)
-                self.on_bubble_drained(network, router, now)
-                return
+        if router.bubble_active:
+            ports = (bubble.port,)
+        else:
+            # Stale resident: the owning recovery was torn down (bubble
+            # timeout / abort) with the resident still wedged, and every
+            # future recovery through this router needs the bubble's spare
+            # slot back.  The bubble buffer feeds the crossbar directly —
+            # which input-port arbiter it competes under is a mux setting —
+            # so the resident may be re-tagged to *any* port with a free
+            # VC, not just the chain port it arrived on (liveness
+            # extension of footnote 6; without it a deadlock web whose
+            # only SB router carries a stranded resident is unrecoverable).
+            ports = (bubble.port, 0, 1, 2, 3)
+        for port in ports:
+            for vc in router.input_vcs[port]:
+                if (
+                    vc.kind == VC_NORMAL
+                    and vc.vnet == resident.vnet
+                    and vc.is_free(now)
+                ):
+                    vc.packet = resident
+                    vc.ready_at = now + 1
+                    bubble.packet = None
+                    bubble.free_at = now + 1
+                    router.invalidate_vc_cache()
+                    self._emit(
+                        network, BUBBLE_RELOCATE, router.node, pid=resident.pid
+                    )
+                    self.on_bubble_drained(network, router, now)
+                    return
 
     def _compass_vcs(self, router: "Router") -> List:
         vcs = []
@@ -285,7 +411,22 @@ class StaticBubbleScheme(DeadlockScheme):
         fsm = state.fsm
         if fsm.state != FsmState.S_SB_ACTIVE:
             return
-        if router.bubble is None or router.bubble.packet is not None:
+        if router.bubble is None:
+            return
+        if router.bubble.packet is not None:
+            # Claimed but immobile: the resident is itself wedged in a
+            # *different* dependency cycle (deadlock web), so the hole this
+            # bubble introduced will never circulate back.  S_SB_ACTIVE has
+            # no counter, so without a backstop the FSM — and every seal
+            # along its chain — would be stuck forever while the true cycle
+            # goes untraced.  After the bubble timeout, tear the chain down
+            # through the normal enable replay (clearing the path's seals)
+            # and resume detection on the web as it now is.  The resident
+            # stays in the bubble, which remains switchable until it drains.
+            if now - state.bubble_active_since >= network.config.sb_bubble_timeout:
+                action = state.fsm.on_bubble_stuck()
+                if action != FsmAction.NONE:
+                    self._dispatch(network, router, state, action, now)
             return
         # Give up waiting for the chain to claim the bubble when either
         # (a) the chain gained space without it — a free normal VC at the

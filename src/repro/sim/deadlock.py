@@ -22,8 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network
 
 
-def find_wait_cycle(network: "Network", now: int) -> Optional[List[int]]:
-    """Return the pids of one wait-for cycle, or None.
+def build_wait_graph(network: "Network", now: int) -> Dict[int, List[int]]:
+    """The packet wait-for graph: blocked pid -> pids it waits on.
 
     A packet is *blocked on buffers* when its requested output link is
     healthy and every VC it could occupy at the next hop is held by a
@@ -66,7 +66,12 @@ def find_wait_cycle(network: "Network", now: int) -> Optional[List[int]]:
                 waits_on.append(cand.packet.pid)
             if blocked and waits_on:
                 adjacency[packet.pid] = waits_on
-    return _find_cycle(adjacency)
+    return adjacency
+
+
+def find_wait_cycle(network: "Network", now: int) -> Optional[List[int]]:
+    """Return the pids of one wait-for cycle, or None."""
+    return _find_cycle(build_wait_graph(network, now))
 
 
 def _find_cycle(adjacency: Dict[int, List[int]]) -> Optional[List[int]]:
@@ -154,11 +159,20 @@ class DeadlockMonitor:
             self._skips += 1
             return self._last_result
         self._skips = 0
-        cycle = find_wait_cycle(network, now)
+        adjacency = build_wait_graph(network, now)
+        cycle = _find_cycle(adjacency)
         if cycle is None:
             self._last_clear_cycle = now
             self._last_result = False
+            # The network is cycle-free: any later wait cycle — even one
+            # re-forming among previously-seen pids after a successful
+            # recovery — is a *new* deadlock and must be counted as such.
+            self.deadlocked_pids.clear()
             return False
+        # Forget pids that are no longer blocked (recovered and moved on,
+        # or ejected): a cycle they re-join later is a fresh deadlock, and
+        # the set stays bounded by the in-flight packet population.
+        self.deadlocked_pids.intersection_update(adjacency)
         new = [pid for pid in cycle if pid not in self.deadlocked_pids]
         if new:
             network.stats.deadlocks_observed += 1

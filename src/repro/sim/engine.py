@@ -14,6 +14,7 @@ from typing import Optional
 from repro.obs import Observer, obs_enabled, proc_registry
 from repro.sim.deadlock import DeadlockMonitor
 from repro.sim.network import Network
+from repro.topology.faults import FaultSchedule
 
 
 def _auto_observer(obs) -> Optional[Observer]:
@@ -116,6 +117,103 @@ def run_to_drain(
                 if traffic_done and network.is_drained():
                     return network.cycle
         return None
+    finally:
+        if obs is not None:
+            obs.finalize(network)
+
+
+@dataclass
+class FaultRunResult:
+    """Outcome + packet accounting of one live-fault (chaos) run.
+
+    The conservation invariant every run must satisfy — each created
+    packet is delivered, explicitly dropped by a reconfiguration, or still
+    in the network when the run ends — is exposed as :attr:`unaccounted`,
+    which must be zero.
+    """
+
+    cycles: int
+    drained: bool
+    reconfig_events: int
+    created: int
+    ejected: int
+    dropped_reconfig: int
+    rerouted: int
+    specials_dropped: int
+    occupancy: int
+    queued: int
+
+    @property
+    def unaccounted(self) -> int:
+        return (
+            self.created
+            - self.ejected
+            - self.dropped_reconfig
+            - self.occupancy
+            - self.queued
+        )
+
+
+def run_with_faults(
+    network: Network,
+    schedule: FaultSchedule,
+    max_cycles: int,
+    stop_traffic_at: Optional[int] = None,
+    obs=None,
+) -> FaultRunResult:
+    """Run ``network`` while applying ``schedule``'s live topology changes.
+
+    Each due :class:`~repro.topology.faults.FaultEvent` is applied *in
+    place* through ``Network.apply_faults`` / ``Network.restore`` — the
+    network object is never rebuilt.  After ``stop_traffic_at`` cycles
+    (if given) the traffic source is detached so the run can drain; the
+    run ends when the network is empty (``drained=True``) or at
+    ``max_cycles``.
+    """
+    obs = _auto_observer(obs)
+    if obs is not None:
+        network.attach_obs(obs)
+    try:
+        events = list(schedule)
+        idx = 0
+        reconfigs = 0
+        drained = False
+        for _ in range(max_cycles):
+            while idx < len(events) and events[idx].cycle <= network.cycle:
+                event = events[idx]
+                idx += 1
+                if event.action == "fail":
+                    network.apply_faults(links=event.links, routers=event.routers)
+                else:
+                    network.restore(links=event.links, routers=event.routers)
+                reconfigs += 1
+            if (
+                stop_traffic_at is not None
+                and network.traffic is not None
+                and network.cycle >= stop_traffic_at
+            ):
+                network.traffic = None
+            network.step()
+            if idx >= len(events) and network.cycle % 8 == 0:
+                traffic_done = network.traffic is None or network.traffic.exhausted(
+                    network.cycle
+                )
+                if traffic_done and network.is_drained():
+                    drained = True
+                    break
+        stats = network.stats
+        return FaultRunResult(
+            cycles=network.cycle,
+            drained=drained,
+            reconfig_events=reconfigs,
+            created=stats.packets_created,
+            ejected=stats.packets_ejected,
+            dropped_reconfig=stats.packets_dropped_reconfig,
+            rerouted=stats.packets_rerouted,
+            specials_dropped=stats.specials_dropped,
+            occupancy=network.total_occupancy(),
+            queued=network.queued_packets(),
+        )
     finally:
         if obs is not None:
             obs.finalize(network)

@@ -21,16 +21,21 @@ observer is attached each emission site costs one attribute check.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.messages import MsgType, SpecialMessage
 from repro.core.turns import OPPOSITE_PORT, Port
 from repro.obs.events import (
     PACKET_DROP,
+    PACKET_REROUTE,
     PACKET_TRANSFER,
+    RECONFIG_APPLY,
+    RECONFIG_RESTORE,
     SPECIAL_DELIVER,
+    SPECIAL_DROP,
     SPECIAL_SEND,
 )
+from repro.routing.table import RoutingTable
 from repro.sim.config import SimConfig
 from repro.sim.ni import NetworkInterface
 from repro.sim.packet import Packet
@@ -67,6 +72,7 @@ class Network:
         self.traffic = traffic
         self.stats = NetworkStats()
         self.cycle = 0
+        self._seed = seed
         self._rng = spawn_rng(seed, "network")
         #: Attached observer (``repro.obs.Observer``) or None.  Every
         #: emission site is gated on one ``is not None`` check, so an
@@ -221,8 +227,295 @@ class Network:
                             "turns": len(msg.turns),
                         },
                     )
+            else:
+                # The target router died mid-flight (live reconfiguration):
+                # the message is lost exactly like a dropped special — the
+                # sender FSM recovers via its timeout — but the loss must
+                # be visible, not silent.
+                self.stats.specials_dropped += 1
+                if obs is not None:
+                    obs.emit(
+                        now,
+                        SPECIAL_DROP,
+                        node,
+                        {
+                            "mtype": msg.mtype.name,
+                            "sender": msg.sender,
+                            "reason": "dead_router",
+                        },
+                    )
         for node, messages in by_router.items():
             self.scheme.process_specials(self, self.routers[node], messages, now)
+
+    # -- live reconfiguration ----------------------------------------------
+
+    def apply_faults(
+        self,
+        links: Iterable[Tuple[int, int]] = (),
+        routers: Iterable[int] = (),
+    ) -> Dict[str, int]:
+        """Deactivate links/routers *mid-run* without rebuilding the network.
+
+        Models the paper's Section II-D reconfiguration (faults and
+        power-gating carving an irregular graph out of the mesh) happening
+        while traffic is in flight, rather than between runs:
+
+        1. the shared :class:`Topology` is mutated in place;
+        2. dead routers are torn down — every resident packet and every
+           packet queued at their NI is dropped and counted
+           (``packets_dropped_reconfig``);
+        3. surviving routers' output links are re-synced to the topology;
+        4. routing tables are rebuilt in place via ``scheme.build_tables``
+           and swapped into every NI (the "reconfiguration software" step
+           the paper assumes costs zero cycles);
+        5. in-flight special messages crossing a dead link or addressed to
+           a dead router are cancelled (the sender FSM times out);
+        6. the scheme reconciles its protocol state
+           (:meth:`~repro.protocols.base.DeadlockScheme.on_topology_changed`):
+           seals whose chain crosses a dead element are cleared and the
+           owning recovery FSMs reset;
+        7. salvage: packets (buffered or queued) whose remaining route
+           crosses a dead element are re-stamped with a fresh route from
+           their current router, or dropped-and-counted when their
+           destination became unreachable.
+
+        Returns a summary dict (also emitted as a ``reconfig.apply``
+        event when an observer is attached).
+        """
+        now = self.cycle
+        dead_routers = sorted(
+            {n for n in routers if self.topo.node_is_active(n)}
+        )
+        link_list = [tuple(link) for link in links]
+        for node in dead_routers:
+            self.topo.deactivate_node(node)
+        for u, v in link_list:
+            self.topo.deactivate_link(u, v)
+
+        dropped = 0
+        for node in dead_routers:
+            router = self.routers.pop(node)
+            self._active_nodes.discard(node)
+            for vc in router.all_vcs():
+                if vc.packet is not None:
+                    dropped += self._count_drop(vc.packet, "dead_router", now)
+                    vc.packet = None
+            ni = self.nis.pop(node, None)
+            if ni is not None:
+                for packet in ni.queue:
+                    dropped += self._count_drop(packet, "dead_router", now)
+                ni.queue.clear()
+        self._router_list = list(self.routers.values())
+        self._ni_list = list(self.nis.values())
+
+        self._sync_links()
+        tables = self._rebuild_tables()
+        specials_cancelled = self._purge_dead_specials(now)
+        scheme_summary = self.scheme.on_topology_changed(
+            self, added=(), removed=dead_routers, now=now
+        ) or {}
+
+        rerouted = 0
+        for router in self._router_list:
+            table = tables.get(router.node)
+            for vc in list(router.all_vcs()):
+                packet = vc.packet
+                if packet is None:
+                    continue
+                reachable = packet.dst == router.node or (
+                    table is not None and table.has_route(packet.dst)
+                )
+                if not reachable:
+                    dropped += self._count_drop(
+                        packet, "reconfig_unreachable", now
+                    )
+                    vc.packet = None
+                    router.occupancy -= 1
+                    continue
+                if packet.is_escape:
+                    continue  # follows the (rebuilt) per-router escape tables
+                if self._route_intact(router.node, packet.route, packet.hop):
+                    continue
+                if packet.dst == router.node:
+                    packet.route = (Port.LOCAL,)
+                else:
+                    packet.route = table.pick_route(packet.dst, self._rng)
+                packet.hop = 0
+                rerouted += 1
+                self.stats.packets_rerouted += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        now,
+                        PACKET_REROUTE,
+                        router.node,
+                        {"pid": packet.pid, "dst": packet.dst},
+                    )
+        for ni in self._ni_list:
+            ni_rerouted, ni_dropped = ni.reroute_queued(
+                now, lambda node, route: self._route_intact(node, route, 0)
+            )
+            rerouted += ni_rerouted
+            dropped += ni_dropped
+        for router in self._router_list:
+            router.invalidate_vc_cache()
+
+        summary = {
+            "links": len(link_list),
+            "routers": len(dead_routers),
+            "dropped": dropped,
+            "rerouted": rerouted,
+            "specials_cancelled": specials_cancelled,
+            "seals_cleared": scheme_summary.get("seals_cleared", 0),
+            "fsms_reset": scheme_summary.get("fsms_reset", 0),
+        }
+        if self.obs is not None:
+            self.obs.emit(now, RECONFIG_APPLY, -1, summary)
+        return summary
+
+    def restore(
+        self,
+        links: Iterable[Tuple[int, int]] = (),
+        routers: Iterable[int] = (),
+    ) -> Dict[str, int]:
+        """Reactivate power-gated links/routers mid-run (un-gating).
+
+        The inverse of :meth:`apply_faults`: restored routers come back
+        with fresh (empty) buffers and a fresh NI — exactly the state a
+        rebuilt network would give them — the scheme re-provisions any
+        augmentation (static bubble + FSM, escape VCs) through
+        ``on_topology_changed``, and routing tables are rebuilt so traffic
+        immediately uses the recovered paths.
+        """
+        now = self.cycle
+        new_routers = sorted(
+            {n for n in routers if not self.topo.node_is_active(n)}
+        )
+        link_list = [tuple(link) for link in links]
+        for node in new_routers:
+            self.topo.activate_node(node)
+        for u, v in link_list:
+            self.topo.activate_link(u, v)
+
+        config = self.config
+        for node in new_routers:
+            router = Router(node, config.vnets, config.vcs_per_vnet)
+            router._wake = self._active_nodes.add
+            router.output_links[Port.LOCAL] = OutputLink(None)
+            self.routers[node] = router
+        self.routers = dict(sorted(self.routers.items()))
+        self._router_list = list(self.routers.values())
+
+        self._sync_links()
+        tables = self._rebuild_tables()
+        eject_hook = None
+        if self.traffic is not None and hasattr(self.traffic, "on_packet_ejected"):
+            eject_hook = self.traffic.on_packet_ejected
+        for node in new_routers:
+            ni = NetworkInterface(
+                node,
+                tables.get(node) or RoutingTable(node),
+                self.routers[node],
+                self.stats,
+                spawn_rng(self._seed, "ni", node),
+                queue_cap=config.injection_queue_cap,
+            )
+            if eject_hook is not None:
+                ni.eject_hook = eject_hook
+            ni.obs = self.obs
+            self.nis[node] = ni
+        self.nis = dict(sorted(self.nis.items()))
+        self._ni_list = list(self.nis.values())
+
+        self.scheme.on_topology_changed(
+            self, added=new_routers, removed=(), now=now
+        )
+        for router in self._router_list:
+            router.invalidate_vc_cache()
+
+        summary = {"links": len(link_list), "routers": len(new_routers)}
+        if self.obs is not None:
+            self.obs.emit(now, RECONFIG_RESTORE, -1, summary)
+        return summary
+
+    def _count_drop(self, packet: Packet, reason: str, now: int) -> int:
+        self.stats.packets_dropped_reconfig += 1
+        if self.obs is not None:
+            self.obs.emit(
+                now, PACKET_DROP, packet.src, {"reason": reason, "dst": packet.dst}
+            )
+        return 1
+
+    def _sync_links(self) -> None:
+        """Re-derive every router's output links from the topology.
+
+        Links that stayed active keep their :class:`OutputLink` object
+        (preserving ``busy_until`` for tails still draining); dead links
+        drop to ``None``; restored links get a fresh object.
+        """
+        for node, router in self.routers.items():
+            active = {port: peer for port, peer in self.topo.active_neighbors(node)}
+            for port in range(4):
+                peer = active.get(port)
+                if peer is None:
+                    router.output_links[port] = None
+                elif router.output_links[port] is None:
+                    router.output_links[port] = OutputLink(peer)
+
+    def _rebuild_tables(self) -> Dict[int, RoutingTable]:
+        """Re-run the scheme's table construction and swap tables in place."""
+        tables = self.scheme.build_tables(self.topo, self.config)
+        for node, ni in self.nis.items():
+            ni.table = tables.get(node) or RoutingTable(node)
+        return tables
+
+    def _route_intact(self, node: int, route: Sequence[int], hop: int) -> bool:
+        """Does the remaining source route cross only live links/routers?"""
+        topo = self.topo
+        current = node
+        for port in route[hop:]:
+            if port == Port.LOCAL:
+                continue  # ejection exists at every live router
+            nxt = topo.neighbor(current, port)
+            if nxt is None or not topo.link_is_active(current, nxt):
+                return False
+            current = nxt
+        return True
+
+    def _purge_dead_specials(self, now: int) -> int:
+        """Cancel scheduled special arrivals that crossed a dead element."""
+        cancelled = 0
+        obs = self.obs
+        for arrival in list(self._special_arrivals):
+            kept: List[Tuple[int, int, SpecialMessage]] = []
+            for node, in_port, msg in self._special_arrivals[arrival]:
+                upstream = self.topo.neighbor(node, in_port)
+                if node not in self.routers:
+                    reason = "dead_router"
+                elif upstream is None or not self.topo.link_is_active(
+                    upstream, node
+                ):
+                    reason = "dead_link"
+                else:
+                    kept.append((node, in_port, msg))
+                    continue
+                cancelled += 1
+                self.stats.specials_dropped += 1
+                if obs is not None:
+                    obs.emit(
+                        now,
+                        SPECIAL_DROP,
+                        node,
+                        {
+                            "mtype": msg.mtype.name,
+                            "sender": msg.sender,
+                            "reason": reason,
+                        },
+                    )
+            if kept:
+                self._special_arrivals[arrival] = kept
+            else:
+                del self._special_arrivals[arrival]
+        return cancelled
 
     # -- per-cycle machinery -----------------------------------------------
 
@@ -279,7 +572,7 @@ class Network:
     # -- switch allocation ---------------------------------------------------
 
     def _allocate_router(self, router: Router, now: int) -> None:
-        requests: List[Tuple[int, VirtualChannel, Packet, int, object]] = []
+        requests: List[Tuple[int, VirtualChannel, Packet, int, object, int]] = []
         # Input arbitration: one candidate VC per input port (round-robin).
         # This is the simulator's hottest loop — it runs once per occupied
         # router per cycle — so it works off the router's cached per-port
@@ -322,16 +615,17 @@ class Network:
                     target = downstream.free_vc_for(OPPOSITE_PORT[out], packet, now)
                     if target is None:
                         continue
-                requests.append((port, vc, packet, out, target))
-                in_rr[port] = (start + k + 1) % n
+                requests.append((port, vc, packet, out, target, (start + k + 1) % n))
                 break
         if not requests:
             return
         # Output arbitration: one grant per output port (round-robin on
-        # input port index).
-        by_out: Dict[int, List[Tuple[int, VirtualChannel, Packet, object]]] = {}
-        for port, vc, packet, out, target in requests:
-            by_out.setdefault(out, []).append((port, vc, packet, target))
+        # input port index).  The input pointer advances only for *granted*
+        # requests: a VC that loses here must stay first in line at its
+        # port, or it can starve behind fresher arrivals.
+        by_out: Dict[int, List[Tuple[int, VirtualChannel, Packet, object, int]]] = {}
+        for port, vc, packet, out, target, advance in requests:
+            by_out.setdefault(out, []).append((port, vc, packet, target, advance))
         for out, contenders in by_out.items():
             if len(contenders) == 1:
                 winner = contenders[0]
@@ -339,6 +633,7 @@ class Network:
                 rr = router._out_rr[out]
                 winner = min(contenders, key=lambda c: (c[0] - rr) % 5)
             router._out_rr[out] = (winner[0] + 1) % 5
+            in_rr[winner[0]] = winner[4]
             self._transfer(router, winner[1], winner[2], out, winner[3], now)
 
     def _transfer(

@@ -13,7 +13,7 @@ from collections import deque
 from typing import Deque, Optional, TYPE_CHECKING
 
 from repro.core.turns import Port
-from repro.obs.events import PACKET_DROP, PACKET_INJECT
+from repro.obs.events import PACKET_DROP, PACKET_INJECT, PACKET_REROUTE
 from repro.routing.table import RoutingTable
 from repro.sim.packet import Packet
 from repro.sim.stats import NetworkStats
@@ -108,6 +108,48 @@ class NetworkInterface:
                 },
             )
         return True
+
+    def reroute_queued(self, now: int, route_ok) -> tuple:
+        """Revalidate queued (not-yet-injected) packets after a live
+        topology change (``Network.apply_faults``).
+
+        ``route_ok(node, route)`` reports whether a stamped route still
+        crosses only live elements.  Packets with a broken route are
+        re-stamped from the (already rebuilt) table, or dropped and
+        counted when their destination became unreachable.  Returns
+        ``(rerouted, dropped)``.
+        """
+        rerouted = dropped = 0
+        survivors: Deque[Packet] = deque()
+        for packet in self.queue:
+            if route_ok(self.node, packet.route):
+                survivors.append(packet)
+                continue
+            route = self.table.pick_route(packet.dst, self.rng)
+            if route is None:
+                dropped += 1
+                self.stats.packets_dropped_reconfig += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        now,
+                        PACKET_DROP,
+                        self.node,
+                        {"reason": "reconfig_unreachable", "dst": packet.dst},
+                    )
+                continue
+            packet.route = route
+            survivors.append(packet)
+            rerouted += 1
+            self.stats.packets_rerouted += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    now,
+                    PACKET_REROUTE,
+                    self.node,
+                    {"pid": packet.pid, "dst": packet.dst},
+                )
+        self.queue = survivors
+        return rerouted, dropped
 
     def eject(self, packet: Packet, now: int) -> None:
         """Sink an arriving packet and record its latency."""

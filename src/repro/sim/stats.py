@@ -21,6 +21,15 @@ class NetworkStats:
     packets_injected: int = 0
     packets_ejected: int = 0
     packets_dropped_unreachable: int = 0
+    #: Packets lost to a live topology change: resident in a router that
+    #: died, or stranded when their destination became unreachable.
+    packets_dropped_reconfig: int = 0
+    #: In-flight packets whose source route was re-stamped after a live
+    #: topology change (``Network.apply_faults`` salvage).
+    packets_rerouted: int = 0
+    #: Special messages discarded because their target router or the link
+    #: they were crossing died (live reconfiguration).
+    specials_dropped: int = 0
     flits_injected: int = 0
     flits_ejected: int = 0
     #: Sum of network latencies (injection -> ejection) of ejected packets.
@@ -108,6 +117,9 @@ class NetworkStats:
             "packets_injected": self.packets_injected,
             "packets_ejected": self.packets_ejected,
             "packets_dropped_unreachable": self.packets_dropped_unreachable,
+            "packets_dropped_reconfig": self.packets_dropped_reconfig,
+            "packets_rerouted": self.packets_rerouted,
+            "specials_dropped": self.specials_dropped,
             "avg_latency": self.avg_latency,
             "probes_sent": self.probes_sent,
             "bubble_activations": self.bubble_activations,

@@ -9,10 +9,120 @@ graph.
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
 
 from repro.topology.mesh import Topology, mesh
 from repro.topology import graph as tgraph
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted topology change: at ``cycle``, fail or restore the
+    listed links/routers (consumed by ``repro.sim.engine.run_with_faults``
+    via ``Network.apply_faults`` / ``Network.restore``)."""
+
+    cycle: int
+    action: str  # "fail" | "restore"
+    links: Tuple[Tuple[int, int], ...] = ()
+    routers: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.action not in ("fail", "restore"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+
+class FaultSchedule:
+    """An ordered script of live topology changes ("at cycle N, fail X").
+
+    Immutable once built; iteration yields events in cycle order (stable
+    for ties, so "fail then restore at the same cycle" keeps its meaning).
+    """
+
+    def __init__(self, events: Iterator[FaultEvent] = ()) -> None:
+        self.events: List[FaultEvent] = sorted(events, key=lambda e: e.cycle)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def last_cycle(self) -> int:
+        return self.events[-1].cycle if self.events else 0
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({len(self.events)} events, last={self.last_cycle})"
+
+
+def random_fault_schedule(
+    topo: Topology,
+    n_events: int,
+    rng: random.Random,
+    first_cycle: int = 100,
+    spacing: int = 200,
+    p_router: float = 0.25,
+    p_restore: float = 0.35,
+    min_active_routers: Optional[int] = None,
+) -> FaultSchedule:
+    """A random live-fault script for chaos campaigns (``repro chaos``).
+
+    Events land at increasing random cycles (1..``spacing`` apart,
+    starting after ``first_cycle``).  Each event either fails one random
+    currently-active link or router, or (with ``p_restore``, once
+    something has failed) restores one previously failed element —
+    gate/un-gate round trips included.  A shadow copy of ``topo`` tracks
+    the evolving state so the script is always applicable; ``topo`` itself
+    is not modified.  Router kills stop once only ``min_active_routers``
+    (default: half) would remain, so the network never degenerates to
+    nothing.
+    """
+    shadow = topo.copy()
+    if min_active_routers is None:
+        min_active_routers = max(2, len(shadow.active_nodes()) // 2)
+    failed_links: List[Tuple[int, int]] = []
+    failed_routers: List[int] = []
+    events: List[FaultEvent] = []
+    cycle = first_cycle
+    for _ in range(n_events):
+        cycle += rng.randrange(1, spacing + 1)
+        if (failed_links or failed_routers) and rng.random() < p_restore:
+            pool = [("link", link) for link in failed_links]
+            pool += [("router", node) for node in failed_routers]
+            kind, target = pool[rng.randrange(len(pool))]
+            if kind == "link":
+                failed_links.remove(target)
+                shadow.activate_link(*target)
+                events.append(FaultEvent(cycle, "restore", links=(target,)))
+            else:
+                failed_routers.remove(target)
+                shadow.activate_node(target)
+                events.append(FaultEvent(cycle, "restore", routers=(target,)))
+            continue
+        kill_router = (
+            rng.random() < p_router
+            and len(shadow.active_nodes()) > min_active_routers
+        )
+        if kill_router:
+            candidates = shadow.active_nodes()
+            node = candidates[rng.randrange(len(candidates))]
+            shadow.deactivate_node(node)
+            failed_routers.append(node)
+            events.append(FaultEvent(cycle, "fail", routers=(node,)))
+        else:
+            links = [
+                tuple(sorted(link))
+                for link in shadow.all_links()
+                if shadow.link_is_active(*tuple(link))
+            ]
+            if not links:
+                continue
+            link = links[rng.randrange(len(links))]
+            shadow.deactivate_link(*link)
+            failed_links.append(link)
+            events.append(FaultEvent(cycle, "fail", links=(link,)))
+    return FaultSchedule(events)
 
 
 def inject_link_faults(

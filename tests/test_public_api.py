@@ -76,7 +76,8 @@ class TestExperimentRegistry:
                 assert full.samples >= quick.samples, name
 
     def test_registry_covers_every_evaluation_figure(self):
+        # Every evaluation figure/table, plus the chaos robustness harness.
         assert set(ALL_EXPERIMENTS) == {
             "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "fig13", "table1",
+            "fig13", "table1", "chaos",
         }

@@ -138,15 +138,33 @@ class TestSbActiveWatchdog:
         assert fsm.state == FsmState.S_SB_ACTIVE
         assert router.bubble_active
 
-    def test_claimed_bubble_is_left_alone(self):
+    def test_claimed_bubble_is_left_alone_within_timeout(self):
         """A resident inside the bubble means the drain is in progress;
-        the watchdog must not tear it down even past the timeout."""
+        the watchdog must not interrupt it before the bubble timeout."""
         net, scheme = build_2x2_ring_deadlock(t_dd=FROZEN)
         net.config.sb_bubble_timeout = 16
         state = _arm_sb_active(net, scheme, in_port=S)
         router = net.routers[3]
         router.bubble.packet = router.input_vcs[S][0].packet  # simulate claim
-        now = state.bubble_active_since + 10 * net.config.sb_bubble_timeout
+        now = state.bubble_active_since + net.config.sb_bubble_timeout - 1
         scheme._sb_active_watchdog(net, router, state, now)
         assert state.fsm.state == FsmState.S_SB_ACTIVE
         assert router.bubble_active
+
+    def test_stuck_claimed_bubble_tears_down_past_timeout(self):
+        """A resident that has not drained for the full bubble timeout is
+        wedged in a different cycle (deadlock web): the FSM must give the
+        chain up via the enable replay — clearing the path's seals — and
+        resume detection, or the seal and the recovery hang forever."""
+        net, scheme = build_2x2_ring_deadlock(t_dd=FROZEN)
+        net.config.sb_bubble_timeout = 16
+        state = _arm_sb_active(net, scheme, in_port=S)
+        router = net.routers[3]
+        router.bubble.packet = router.input_vcs[S][0].packet  # simulate claim
+        now = state.bubble_active_since + net.config.sb_bubble_timeout
+        scheme._sb_active_watchdog(net, router, state, now)
+        assert state.fsm.state == FsmState.S_ENABLE
+        assert net.stats.enables_sent == 1
+        # The resident stays in the bubble (still switchable) until it can
+        # drain or be relocated; it must not be lost.
+        assert router.bubble.packet is not None
