@@ -17,6 +17,11 @@ Commands:
   failures and restores applied in place) across the schemes and check
   packet conservation; ``--check`` exits nonzero on any undrained run or
   unaccounted packet (the CI smoke gate).
+* ``verify`` — machine-check a scheme's deadlock-freedom claim on a
+  (possibly faulted) mesh: CDG certificate (acyclicity or static-bubble
+  cycle cover) with a concrete counterexample cycle on failure, and
+  optionally the exhaustive recovery-protocol model check
+  (``--model-check ring2x2``).  Exits 1 on any failed claim.
 * ``schemes`` — list the available deadlock-freedom schemes.
 """
 
@@ -85,7 +90,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         sb_t_dd=args.t_dd,
     )
     traffic = make_pattern(args.pattern, topo, args.rate, seed=args.seed)
-    network = Network(topo, config, make_scheme(args.scheme), traffic, seed=args.seed)
+    scheme = make_scheme(args.scheme)
+    if args.verify_first:
+        cert = scheme.verify(topo, config)
+        print(cert.describe())
+        if not cert.ok:
+            print(
+                "certification failed; aborting simulation", file=sys.stderr
+            )
+            return 1
+        print()
+    network = Network(topo, config, scheme, traffic, seed=args.seed)
     result = run_with_window(
         network,
         warmup=args.warmup,
@@ -139,6 +154,70 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    try:
+        width, height = (int(v) for v in args.mesh.lower().split("x"))
+    except ValueError:
+        print(f"bad --mesh {args.mesh!r}; expected WxH (e.g. 8x8)", file=sys.stderr)
+        return 2
+    topo = mesh(width, height)
+    rng = random.Random(args.seed)
+    if args.link_faults:
+        topo = inject_link_faults(topo, args.link_faults, rng)
+    if args.router_faults:
+        topo = inject_router_faults(topo, args.router_faults, rng)
+    config = SimConfig(width=width, height=height)
+
+    kwargs = {}
+    if args.drop_bubble:
+        if args.scheme != "static-bubble":
+            print("--drop-bubble only applies to static-bubble", file=sys.stderr)
+            return 2
+        from repro.core.placement import placement_node_ids
+
+        placed = set(placement_node_ids(width, height))
+        for spec in args.drop_bubble:
+            try:
+                x, y = (int(v) for v in spec.split(","))
+            except ValueError:
+                print(f"bad --drop-bubble {spec!r}; expected X,Y", file=sys.stderr)
+                return 2
+            node = y * width + x
+            if node not in placed:
+                print(
+                    f"({x},{y}) is not a static-bubble router of the "
+                    f"{width}x{height} placement",
+                    file=sys.stderr,
+                )
+                return 2
+            placed.discard(node)
+        kwargs["placement_override"] = placed
+
+    scheme = make_scheme(args.scheme, **kwargs)
+    cert = scheme.verify(topo, config)
+
+    mc_result = None
+    if args.model_check:
+        from repro.verify.model import check_scenario
+
+        mc_result = check_scenario(args.model_check)
+
+    if args.json:
+        payload = {"certificate": cert.to_dict()}
+        if mc_result is not None:
+            payload["model_check"] = mc_result.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    else:
+        print(cert.describe())
+        if mc_result is not None:
+            print()
+            print(mc_result.describe())
+    ok = cert.ok and (mc_result is None or mc_result.ok)
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments import chaos
 
@@ -153,6 +232,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         params.height = args.height
     params.seed = args.seed
     params.workers = args.workers
+    params.verify_reconfig = args.verify_reconfig
+    if args.verify_first:
+        topo = mesh(params.width, params.height)
+        config = SimConfig(
+            width=params.width,
+            height=params.height,
+            vcs_per_vnet=params.vcs_per_vnet,
+        )
+        for name in params.schemes:
+            cert = make_scheme(name).verify(topo, config)
+            if not cert.ok:
+                print(cert.describe())
+                print(
+                    f"certification failed for {name}; aborting chaos campaign",
+                    file=sys.stderr,
+                )
+                return 1
     result = chaos.run(params)
     print(chaos.report(result))
     if args.check and not result.ok:
@@ -247,7 +343,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--monitor", action="store_true", help="run the deadlock oracle alongside"
     )
+    p.add_argument(
+        "--verify-first",
+        action="store_true",
+        help="certify the scheme's deadlock-freedom claim before simulating; "
+        "abort with exit code 1 (and the counterexample) on failure",
+    )
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "verify",
+        help="machine-check a scheme's deadlock-freedom claim (CDG "
+        "certificate; optionally the protocol model check)",
+    )
+    p.add_argument("--mesh", default="8x8", help="mesh dimensions, WxH")
+    p.add_argument("--scheme", choices=sorted(SCHEMES), default="static-bubble")
+    p.add_argument("--link-faults", type=int, default=0)
+    p.add_argument("--router-faults", type=int, default=0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--drop-bubble",
+        action="append",
+        default=None,
+        metavar="X,Y",
+        help="remove the static bubble at (X,Y) from the placement "
+        "(repeatable; static-bubble only) — mutation testing the cover",
+    )
+    p.add_argument(
+        "--model-check",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="additionally run the exhaustive recovery-protocol model "
+        "check on this scenario",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the certificate(s) as JSON"
+    )
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name", help="fig2|fig3|fig8|fig9|fig10|fig11|fig12|fig13|table1")
@@ -295,6 +427,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="exit 1 unless every campaign drained with zero unaccounted packets",
+    )
+    p.add_argument(
+        "--verify-first",
+        action="store_true",
+        help="certify every scheme's deadlock-freedom claim on the healthy "
+        "mesh before the campaigns; abort with exit code 1 on failure",
+    )
+    p.add_argument(
+        "--verify-reconfig",
+        action="store_true",
+        help="re-certify after every mid-run reconfiguration; failed "
+        "certificates fail the campaign verdict",
     )
     p.set_defaults(func=_cmd_chaos)
 

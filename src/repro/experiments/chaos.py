@@ -53,6 +53,9 @@ class ChaosParams:
     seed: int = 42
     #: Worker processes for the sweep (None -> REPRO_WORKERS / cpu-1).
     workers: Optional[int] = None
+    #: Re-certify the scheme's deadlock-freedom claim (CDG certificate)
+    #: after every mid-run reconfiguration; failures fail the campaign.
+    verify_reconfig: bool = False
 
     @classmethod
     def quick(cls) -> "ChaosParams":
@@ -83,6 +86,9 @@ class ChaosCampaignResult:
     rerouted: int
     specials_dropped: int
     unaccounted: int
+    #: Post-reconfiguration certificates that failed (0 unless the
+    #: campaign ran with ``verify_reconfig``).
+    cert_failures: int = 0
 
 
 @dataclass
@@ -99,9 +105,17 @@ class ChaosResult:
         return sum(abs(c.unaccounted) for c in self.campaigns)
 
     @property
+    def total_cert_failures(self) -> int:
+        return sum(c.cert_failures for c in self.campaigns)
+
+    @property
     def ok(self) -> bool:
         """The pass/fail verdict ``repro chaos --check`` gates CI on."""
-        return self.all_drained and self.total_unaccounted == 0
+        return (
+            self.all_drained
+            and self.total_unaccounted == 0
+            and self.total_cert_failures == 0
+        )
 
 
 def _chaos_job(scheme_name: str, campaign: int, params: ChaosParams) -> ChaosCampaignResult:
@@ -130,6 +144,7 @@ def _chaos_job(scheme_name: str, campaign: int, params: ChaosParams) -> ChaosCam
         ctrl_flits=config.ctrl_packet_flits,
     )
     network = Network(topo, config, make_scheme(scheme_name), traffic, seed=seed)
+    network.verify_on_reconfig = params.verify_reconfig
     result = run_with_faults(
         network,
         schedule,
@@ -148,6 +163,7 @@ def _chaos_job(scheme_name: str, campaign: int, params: ChaosParams) -> ChaosCam
         rerouted=result.rerouted,
         specials_dropped=result.specials_dropped,
         unaccounted=result.unaccounted,
+        cert_failures=network.cert_failures,
     )
 
 
@@ -180,6 +196,7 @@ def report(result: ChaosResult) -> str:
                 sum(c.dropped_reconfig for c in campaigns),
                 sum(c.rerouted for c in campaigns),
                 sum(abs(c.unaccounted) for c in campaigns),
+                sum(c.cert_failures for c in campaigns),
             ]
         )
     rep.table(
@@ -192,13 +209,16 @@ def report(result: ChaosResult) -> str:
             "dropped",
             "rerouted",
             "unaccounted",
+            "cert_fail",
         ],
         rows,
     )
     rep.line(
         "verdict: "
-        + ("OK — all campaigns drained, zero unaccounted packets"
+        + ("OK — all campaigns drained, zero unaccounted packets, "
+           "no failed certificates"
            if result.ok
-           else "FAIL — undrained campaigns or unaccounted packets")
+           else "FAIL — undrained campaigns, unaccounted packets, or "
+           "failed certificates")
     )
     return rep.text()

@@ -46,6 +46,9 @@ RECOVERY_ABORT = "recovery.abort"
 # -- ground-truth oracle ---------------------------------------------------
 ORACLE_DEADLOCK = "oracle.deadlock"
 
+# -- verification -----------------------------------------------------------
+VERIFY_CERTIFICATE = "verify.certificate"
+
 #: kind -> {field: meaning}.  This doubles as the reference documentation
 #: surfaced in README.md; tests assert every emitted event honours it.
 EVENT_SCHEMA: Dict[str, Dict[str, str]] = {
@@ -120,6 +123,14 @@ EVENT_SCHEMA: Dict[str, Dict[str, str]] = {
     RECOVERY_DONE: {},
     RECOVERY_ABORT: {"retries": "enable retransmissions attempted"},
     ORACLE_DEADLOCK: {"pids": "packet ids of the wait-for cycle", "new": "newly observed pids"},
+    VERIFY_CERTIFICATE: {
+        "kind": "cycle-cover | acyclic",
+        "scheme": "scheme name the claim belongs to",
+        "ok": "certificate verdict",
+        "channels": "CDG channel count",
+        "edges": "CDG edge count",
+        "counterexample": "uncovered dependency cycle (text) or None",
+    },
 }
 
 

@@ -96,3 +96,20 @@ class DeadlockScheme:
         Used by the energy/area model (Table I accounting).
         """
         return 0
+
+    def verify(self, topo: Topology, config: SimConfig):
+        """Machine-check this scheme's deadlock-freedom claim on ``topo``.
+
+        Returns a :class:`repro.verify.Certificate`.  The base claim is
+        the Dally & Seitz condition: the channel-dependency graph of the
+        tables this scheme would install is acyclic.  Schemes whose story
+        differs override this — Static Bubble certifies the placement
+        cycle-cover instead, escape-VC certifies its escape layer — and
+        schemes with no claim (``MinimalUnprotected`` on a cyclic
+        topology) honestly fail.
+        """
+        from repro.verify.cdg import cdg_from_tables
+        from repro.verify.certify import certify_acyclic
+
+        tables = self.build_tables(topo, config)
+        return certify_acyclic(cdg_from_tables(topo, tables), scheme=self.name)

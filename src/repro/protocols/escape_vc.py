@@ -105,3 +105,20 @@ class EscapeVcRecovery(DeadlockScheme):
     def extra_vcs_per_router(self, node: int, config: SimConfig) -> int:
         # One escape VC per vnet per input port (incl. local), Table I.
         return 5 * config.vnets
+
+    def verify(self, topo: Topology, config: SimConfig):
+        """Certify the escape layer, which carries the freedom claim.
+
+        The normal VCs run deadlock-prone minimal routes by design;
+        recovery works because the escape layer (per-router spanning-tree
+        next hops) is acyclic and always admits a diverted packet.
+        """
+        from repro.verify.cdg import cdg_from_next_hops
+        from repro.verify.certify import certify_acyclic
+
+        self.build_tables(topo, config)  # refresh escape tables for topo
+        return certify_acyclic(
+            cdg_from_next_hops(topo, self.escape_tables),
+            scheme=self.name,
+            layer="escape",
+        )

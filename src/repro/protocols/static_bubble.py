@@ -136,6 +136,31 @@ class StaticBubbleScheme(DeadlockScheme):
     def is_sb_router(self, node: int) -> bool:
         return node in self.states
 
+    def verify(self, topo, config: SimConfig):
+        """Certify the Section III lemma on this (possibly faulted) topology.
+
+        Checks the cycle cover on the *turn-closure* CDG (every non-u-turn
+        hop over active links), not just the currently installed tables:
+        a cover of the closure stays valid for any minimal-route tables
+        the reconfiguration software may install after further faults.
+        The cover is the placement restricted to live routers — a bubble
+        at a dead router protects nothing.
+        """
+        from repro.verify.cdg import cdg_from_turns
+        from repro.verify.certify import certify_cycle_cover
+
+        if self.placement_override is not None:
+            placed = set(self.placement_override)
+        else:
+            placed = placement_node_ids(config.width, config.height)
+        cover = placed & set(topo.active_nodes())
+        return certify_cycle_cover(
+            cdg_from_turns(topo),
+            cover,
+            scheme=self.name,
+            placed_routers=len(placed),
+        )
+
     # -- live reconfiguration ----------------------------------------------
 
     def on_topology_changed(self, network, added, removed, now):

@@ -34,6 +34,7 @@ from repro.obs.events import (
     SPECIAL_DELIVER,
     SPECIAL_DROP,
     SPECIAL_SEND,
+    VERIFY_CERTIFICATE,
 )
 from repro.routing.table import RoutingTable
 from repro.sim.config import SimConfig
@@ -100,6 +101,13 @@ class Network:
         #: Verification escape hatch: force the pre-active-set full scan of
         #: every router each cycle (bit-identical results, slower).
         self.full_scan = False
+        #: Re-certify the scheme's deadlock-freedom claim after every
+        #: ``apply_faults`` / ``restore`` (chaos campaigns opt in).
+        self.verify_on_reconfig = False
+        #: Most recent certificate produced by :meth:`certify`.
+        self.last_certificate = None
+        #: Failed certificates accumulated over this network's lifetime.
+        self.cert_failures = 0
 
         # Output links (ejection link on every router; inter-router links
         # only where the topology is active).
@@ -370,6 +378,8 @@ class Network:
         }
         if self.obs is not None:
             self.obs.emit(now, RECONFIG_APPLY, -1, summary)
+        if self.verify_on_reconfig:
+            self.certify()
         return summary
 
     def restore(
@@ -435,7 +445,37 @@ class Network:
         summary = {"links": len(link_list), "routers": len(new_routers)}
         if self.obs is not None:
             self.obs.emit(now, RECONFIG_RESTORE, -1, summary)
+        if self.verify_on_reconfig:
+            self.certify()
         return summary
+
+    def certify(self):
+        """Machine-check the scheme's deadlock-freedom claim right now.
+
+        Delegates to :meth:`repro.protocols.base.DeadlockScheme.verify`
+        against the *current* (possibly faulted) topology, stores the
+        certificate in :attr:`last_certificate`, and emits a
+        ``verify.certificate`` event when an observer is attached.
+        """
+        cert = self.scheme.verify(self.topo, self.config)
+        self.last_certificate = cert
+        if not cert.ok:
+            self.cert_failures += 1
+        if self.obs is not None:
+            self.obs.emit(
+                self.cycle,
+                VERIFY_CERTIFICATE,
+                -1,
+                {
+                    "kind": cert.kind,
+                    "scheme": cert.scheme,
+                    "ok": cert.ok,
+                    "channels": cert.channels,
+                    "edges": cert.edges,
+                    "counterexample": cert.counterexample_text,
+                },
+            )
+        return cert
 
     def _count_drop(self, packet: Packet, reason: str, now: int) -> int:
         self.stats.packets_dropped_reconfig += 1

@@ -1,0 +1,249 @@
+"""Channel-dependency graphs (CDGs) over (irregular) topologies.
+
+Dally & Seitz ground deadlock analysis in the *channel dependency graph*:
+vertices are buffered channels, and there is a directed edge from channel
+``a`` to channel ``b`` when a packet occupying ``a`` can wait for space
+in ``b``.  A routing function is deadlock-free iff its CDG is acyclic;
+Static Bubble's weaker-but-sufficient condition (the Section III lemma)
+is that every CDG *cycle* passes through a static-bubble router.
+
+This module builds CDGs that match the simulator's actual buffering
+model, not an abstraction of it:
+
+* A **channel** is ``(node, in_port, layer)`` — the buffer pool at router
+  ``node``'s input port ``in_port`` (all VCs of one layer at one port; a
+  packet blocked at the port head can wait for *any* same-class VC, so
+  the per-port pool is the dependency granularity of the simulator's
+  virtual cut-through model).  ``layer`` separates VC classes that never
+  mix (``LAYER_NORMAL`` vs. the escape-VC scheme's ``LAYER_ESCAPE``).
+* An **edge** ``(v, p, l) -> (w, q, l')`` exists when a packet can sit at
+  ``v``'s port ``p`` wanting the output toward ``w`` (arriving there at
+  input port ``q = opposite``).  Edges come from one of two derivations:
+
+  - :func:`cdg_from_tables` / :func:`cdg_from_routes` — walk the *real*
+    source routes the NIs install (``repro.routing.table`` / ``paths``),
+    so the CDG contains exactly the dependencies the installed routing
+    function can exercise.
+  - :func:`cdg_from_turns` — the all-minimal-routing closure: every
+    non-u-turn ``in_port -> out_port`` hop over active links
+    (``repro.core.turns`` conventions).  This over-approximates *any*
+    routing function without u-turns, which is the universe the paper's
+    placement lemma quantifies over ("any topology derived from the
+    mesh, any minimal routes").
+
+Ejection consumes packets (the local output link always frees), so
+routes contribute no edge for their final hop; injection channels are
+sources and cannot lie on cycles — neither is represented.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.turns import OPPOSITE_PORT, Port
+from repro.routing.table import RoutingTable
+from repro.topology.mesh import Topology
+
+#: VC-class layers.  Normal VCs (all minimal-routing schemes) and the
+#: escape-VC scheme's reserved escape layer never hold the same packet,
+#: so their dependencies live in disjoint CDG components.
+LAYER_NORMAL = 0
+LAYER_ESCAPE = 1
+
+#: A buffered channel: (router holding the buffer, input port, layer).
+Channel = Tuple[int, int, int]
+
+
+class ChannelDependencyGraph:
+    """Directed graph over :data:`Channel` vertices."""
+
+    def __init__(self, topo: Topology, source: str) -> None:
+        self.topo = topo
+        #: Provenance of the edge derivation ("tables", "turns", ...).
+        self.source = source
+        self.channels: Set[Channel] = set()
+        self._succ: Dict[Channel, Set[Channel]] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def add_channel(self, channel: Channel) -> None:
+        if channel not in self.channels:
+            self.channels.add(channel)
+            self._succ[channel] = set()
+
+    def add_edge(self, a: Channel, b: Channel) -> None:
+        self.add_channel(a)
+        self.add_channel(b)
+        self._succ[a].add(b)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.channels)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def successors(self, channel: Channel) -> Set[Channel]:
+        return self._succ.get(channel, set())
+
+    def adjacency(self) -> Dict[Channel, Set[Channel]]:
+        """The successor map (shared, do not mutate)."""
+        return self._succ
+
+    def restricted_adjacency(
+        self, excluded_routers: Set[int]
+    ) -> Dict[Channel, Set[Channel]]:
+        """Adjacency with every channel buffered *at* an excluded router
+        removed.
+
+        This is the cycle-cover reduction: a dependency cycle avoiding
+        all routers in ``excluded_routers`` exists iff the restricted
+        graph still contains a cycle — checking a cover therefore costs
+        one SCC pass instead of enumerating cycles.
+        """
+        keep = {c for c in self.channels if c[0] not in excluded_routers}
+        return {
+            c: {s for s in self._succ[c] if s in keep}
+            for c in keep
+        }
+
+    @staticmethod
+    def cycle_routers(cycle: Sequence[Channel]) -> List[int]:
+        """The routers whose buffers a channel cycle occupies, in order."""
+        return [channel[0] for channel in cycle]
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelDependencyGraph({self.num_channels} channels, "
+            f"{self.num_edges} edges, source={self.source!r})"
+        )
+
+
+def describe_channel(topo: Topology, channel: Channel) -> str:
+    """Human-readable channel: ``(x,y).WEST`` style, with layer tag."""
+    node, in_port, layer = channel
+    x, y = topo.coords(node)
+    tag = "" if layer == LAYER_NORMAL else "/esc"
+    return f"({x},{y}).{Port(in_port).name}{tag}"
+
+
+def _route_channels(
+    topo: Topology, src: int, route: Sequence[int], layer: int
+) -> List[Channel]:
+    """The channel sequence a route's packet occupies (ejection excluded)."""
+    channels: List[Channel] = []
+    node = src
+    for port in route:
+        if port == Port.LOCAL:
+            break
+        nxt = topo.neighbor(node, port)
+        if nxt is None or not topo.link_is_active(node, nxt):
+            raise ValueError(
+                f"route from {src} crosses an inactive link at {node}"
+            )
+        channels.append((nxt, OPPOSITE_PORT[port], layer))
+        node = nxt
+    return channels
+
+
+def cdg_from_routes(
+    topo: Topology,
+    routes: Iterable[Tuple[int, Sequence[int]]],
+    layer: int = LAYER_NORMAL,
+    source: str = "routes",
+) -> ChannelDependencyGraph:
+    """CDG from explicit ``(src, port_route)`` pairs."""
+    cdg = ChannelDependencyGraph(topo, source)
+    for src, route in routes:
+        channels = _route_channels(topo, src, route, layer)
+        for channel in channels:
+            cdg.add_channel(channel)
+        for a, b in zip(channels, channels[1:]):
+            cdg.add_edge(a, b)
+    return cdg
+
+
+def cdg_from_tables(
+    topo: Topology,
+    tables: Dict[int, RoutingTable],
+    layer: int = LAYER_NORMAL,
+) -> ChannelDependencyGraph:
+    """CDG of the dependencies the installed routing tables can exercise."""
+
+    def _iter_routes():
+        for src, table in tables.items():
+            for dst in table.destinations():
+                for route in table.routes(dst):
+                    yield src, route
+
+    return cdg_from_routes(topo, _iter_routes(), layer, source="tables")
+
+
+def cdg_from_next_hops(
+    topo: Topology,
+    next_hops: Dict[int, Dict[int, Port]],
+    layer: int = LAYER_ESCAPE,
+) -> ChannelDependencyGraph:
+    """CDG of per-router next-hop tables (the escape-VC tree layer).
+
+    Dependencies are derived per destination: a packet buffered at
+    ``node`` heading to ``dst`` waits for the channel behind
+    ``next_hops[node][dst]``, whatever port it arrived on — exactly how
+    the simulator's escape lookup routes (``Router._requested_output``).
+    """
+    cdg = ChannelDependencyGraph(topo, source="next_hops")
+    for node, table in next_hops.items():
+        for dst, out in table.items():
+            if out == Port.LOCAL:
+                continue
+            nxt = topo.neighbor(node, out)
+            if nxt is None or not topo.link_is_active(node, nxt):
+                raise ValueError(
+                    f"next-hop table at {node} crosses an inactive link"
+                )
+            here = (nxt, OPPOSITE_PORT[out], layer)
+            cdg.add_channel(here)
+            then = next_hops.get(nxt, {}).get(dst)
+            if then is not None and then != Port.LOCAL:
+                nxt2 = topo.neighbor(nxt, then)
+                if nxt2 is None or not topo.link_is_active(nxt, nxt2):
+                    raise ValueError(
+                        f"next-hop table at {nxt} crosses an inactive link"
+                    )
+                cdg.add_edge(here, (nxt2, OPPOSITE_PORT[then], layer))
+    return cdg
+
+
+def cdg_from_turns(
+    topo: Topology, layer: int = LAYER_NORMAL
+) -> ChannelDependencyGraph:
+    """The all-minimal-routing closure CDG: every non-u-turn hop.
+
+    A packet never u-turns (``repro.core.turns`` forbids it, as the
+    placement lemma assumes), so from input port ``p`` every output
+    ``q != p`` over an active link is a possible dependency.  Any cycle
+    any u-turn-free routing function could create is a cycle here, which
+    makes a cover certificate on this graph valid for *every* routing
+    table the reconfiguration software might install — including the
+    minimal-route tables rebuilt after arbitrary faults.
+    """
+    cdg = ChannelDependencyGraph(topo, source="turns")
+    for node in topo.active_nodes():
+        neighbors = dict(topo.active_neighbors(node))
+        for in_port in neighbors:
+            # A message from the neighbor in direction ``in_port`` enters
+            # ``node`` through the port of that name (it travels
+            # ``opposite(in_port)``); the channel exists iff the link is
+            # active, which active_neighbors guarantees.
+            here = (node, in_port, layer)
+            cdg.add_channel(here)
+            for out_dir, downstream in neighbors.items():
+                if out_dir == in_port:
+                    continue  # u-turn
+                cdg.add_edge(
+                    here, (downstream, OPPOSITE_PORT[out_dir], layer)
+                )
+    return cdg
