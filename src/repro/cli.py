@@ -22,7 +22,17 @@ Commands:
   cycle cover) with a concrete counterexample cycle on failure, and
   optionally the exhaustive recovery-protocol model check
   (``--model-check ring2x2``).  Exits 1 on any failed claim.
+* ``serve`` — run the HTTP campaign server (``repro.service``): submit
+  simulation specs over ``POST /jobs``, get memoized results from the
+  content-addressed store, scrape ``GET /metrics``.
+* ``submit`` — client for ``serve``: post one simulation spec (the same
+  knobs as ``simulate``) and optionally wait for the result.
 * ``schemes`` — list the available deadlock-freedom schemes.
+
+``simulate``, ``experiment``, ``verify``, and ``submit`` all take
+``--json`` for structured output through the shared serializer
+(:mod:`repro.utils.serialize`) — the same encoding the service store
+persists.
 """
 
 from __future__ import annotations
@@ -76,6 +86,26 @@ def _cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_spec_from_args(args: argparse.Namespace) -> "SimSpec":
+    from repro.service.spec import SimSpec
+
+    return SimSpec(
+        width=args.width,
+        height=args.height,
+        link_faults=args.link_faults,
+        router_faults=args.router_faults,
+        scheme=args.scheme,
+        pattern=args.pattern,
+        rate=args.rate,
+        warmup=args.warmup,
+        measure=args.cycles,
+        vcs_per_vnet=args.vcs,
+        sb_t_dd=args.t_dd,
+        seed=args.seed,
+        monitor=getattr(args, "monitor", False),
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     topo = mesh(args.width, args.height)
     rng = random.Random(args.seed)
@@ -93,13 +123,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     scheme = make_scheme(args.scheme)
     if args.verify_first:
         cert = scheme.verify(topo, config)
-        print(cert.describe())
+        if not args.json:
+            print(cert.describe())
         if not cert.ok:
             print(
                 "certification failed; aborting simulation", file=sys.stderr
             )
             return 1
-        print()
+        if not args.json:
+            print()
     network = Network(topo, config, scheme, traffic, seed=args.seed)
     result = run_with_window(
         network,
@@ -108,6 +140,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         monitor=DeadlockMonitor() if args.monitor else None,
     )
     stats = network.stats
+    if args.json:
+        import json
+
+        from repro.service.spec import sim_result_payload
+
+        payload = sim_result_payload(_simulate_spec_from_args(args), result, network)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     rows = [
         ["topology", repr(topo)],
         ["scheme", args.scheme],
@@ -143,7 +183,30 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         # The env var is inherited by pool workers, which then ship their
         # per-process registries home for merging (repro.parallel.pool).
         os.environ[OBS_ENV_VAR] = "1"
+    if getattr(args, "cached", False):
+        # Routes every fan_out sweep cell through the content-addressed
+        # result store (repro.service.store) — warm reruns are pure hits.
+        from repro.experiments.common import CACHE_ENV_VAR
+
+        os.environ[CACHE_ENV_VAR] = "1"
     result = module.run(params)
+    if getattr(args, "json", False):
+        import json
+
+        from repro.utils.serialize import to_jsonable
+
+        print(
+            json.dumps(
+                {
+                    "experiment": args.name,
+                    "params": to_jsonable(params),
+                    "result": to_jsonable(result),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(module.report(result))
     if getattr(args, "obs", False):
         registry = proc_registry()
@@ -151,6 +214,78 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print("\nobservability metrics (merged across workers):")
             for line in registry.summary_lines():
                 print("  " + line)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service.server import ServiceServer
+    from repro.service.store import ResultStore
+
+    store = ResultStore(root=Path(args.store) if args.store else None)
+    server = ServiceServer(
+        host=args.host,
+        port=args.port,
+        store=store,
+        workers=args.workers,
+        max_depth=args.max_depth,
+        timeout=args.timeout,
+        retries=args.retries,
+        quiet=args.quiet,
+    )
+    print(f"repro service listening on {server.url}")
+    print(f"result store: {store.root} (cap {store.max_bytes} bytes)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.httpd.server_close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    spec = _simulate_spec_from_args(args)
+    client = ServiceClient(args.url)
+    try:
+        if args.wait:
+            payload = client.run(spec, priority=args.priority, timeout=args.timeout)
+        else:
+            payload = client.submit(spec, priority=args.priority)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        ["job id", payload.get("job_id", "")],
+        ["status", payload.get("status", "")],
+        ["cached", payload.get("cached", False)],
+    ]
+    result = payload.get("result")
+    if result:
+        rows += [
+            ["avg latency (cycles)", f"{result['result']['avg_latency']:.2f}"],
+            [
+                "accepted thr (flits/node/cyc)",
+                f"{result['result']['throughput_flits_node_cycle']:.4f}",
+            ],
+            [
+                "packets injected / ejected",
+                f"{result['stats']['packets_injected']} / "
+                f"{result['stats']['packets_ejected']}",
+            ],
+        ]
+    print(format_table(["field", "value"], rows))
     return 0
 
 
@@ -349,6 +484,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="certify the scheme's deadlock-freedom claim before simulating; "
         "abort with exit code 1 (and the counterexample) on failure",
     )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result/stats payload as JSON (the same shape the "
+        "service store persists)",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -401,7 +542,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect observability metrics (merged across workers) "
         "and print them after the report",
     )
+    p.add_argument(
+        "--cached",
+        action="store_true",
+        help="memoize every sweep cell through the content-addressed "
+        "result store ($REPRO_STORE); warm reruns become cache hits",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the params + result dataclasses as JSON via the "
+        "shared serializer instead of the report table",
+    )
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP campaign server (content-addressed result "
+        "store + deduplicating job queue)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument(
+        "--store", default=None, help="result store root (default: $REPRO_STORE or ~/.cache/repro)"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="simulation worker processes (default: $REPRO_WORKERS, else cpu_count()-1)",
+    )
+    p.add_argument(
+        "--max-depth",
+        type=int,
+        default=256,
+        help="bound on pending+running jobs; past it POST /jobs returns 429",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock timeout in seconds (enforced in pool workers)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1, help="retries per failed job (with backoff)"
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs"
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one simulation spec to a running campaign server",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8765")
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--height", type=int, default=8)
+    p.add_argument("--link-faults", type=int, default=0)
+    p.add_argument("--router-faults", type=int, default=0)
+    p.add_argument("--scheme", choices=sorted(SCHEMES), default="static-bubble")
+    p.add_argument("--pattern", default="uniform_random")
+    p.add_argument("--rate", type=float, default=0.05)
+    p.add_argument("--warmup", type=int, default=500)
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--vcs", type=int, default=4, help="VCs per vnet per port")
+    p.add_argument("--t-dd", type=int, default=34, help="SB detection threshold")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll the job to completion and print the result",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="--wait polling deadline in seconds",
+    )
+    p.add_argument("--json", action="store_true", help="print the raw JSON payload")
+    p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser(
         "chaos",

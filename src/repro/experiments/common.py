@@ -12,6 +12,7 @@ Every experiment module follows the same shape:
 
 from __future__ import annotations
 
+import os
 from statistics import mean
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -91,11 +92,25 @@ def run_synthetic(
     return result, network
 
 
+#: Environment variable routing every ``fan_out`` sweep through the
+#: content-addressed result store (the CLI's ``experiment --cached``).
+CACHE_ENV_VAR = "REPRO_CACHE"
+
+
+def cache_enabled() -> bool:
+    """True when ``REPRO_CACHE`` asks sweeps to memoize through the store."""
+    return os.environ.get(CACHE_ENV_VAR, "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
 def fan_out(
     func: Callable,
     argslist: Sequence[Sequence],
     workers: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    cached: Optional[bool] = None,
+    store=None,
 ) -> List:
     """Run ``func(*args)`` for each args tuple, fanned over worker processes.
 
@@ -103,9 +118,76 @@ def fan_out(
     results come back in ``argslist`` order regardless of worker count, so
     aggregation code is identical for serial and parallel runs.  ``func``
     must be a module-level (picklable) callable.
+
+    ``cached`` routes the sweep through the content-addressed result
+    store (:mod:`repro.service.store`): each cell is keyed by the
+    canonical fingerprint of ``(func, args)`` — the topology, config,
+    rate, and seed are all part of ``args``, so the fingerprint is the
+    cell's full identity — and only cells missing from the store are
+    executed.  ``None`` defers to the ``REPRO_CACHE`` environment
+    variable, which is how ``repro experiment --cached`` reaches all
+    nine figure sweeps through this one entry point.  Results round-trip
+    through :mod:`repro.utils.serialize`, so a cache hit is
+    indistinguishable (tuples, dataclasses and all) from a fresh run.
     """
-    jobs = [Job(func, tuple(args)) for args in argslist]
-    return run_jobs(jobs, workers=workers, progress=progress)
+    if cached is None:
+        cached = cache_enabled()
+    if not cached:
+        jobs = [Job(func, tuple(args)) for args in argslist]
+        return run_jobs(jobs, workers=workers, progress=progress)
+    return _fan_out_cached(func, argslist, workers, progress, store)
+
+
+def _fan_out_cached(
+    func: Callable,
+    argslist: Sequence[Sequence],
+    workers: Optional[int],
+    progress: Optional[Callable[[int, int], None]],
+    store,
+) -> List:
+    from repro.service.store import ResultStore, spec_fingerprint
+    from repro.utils.serialize import from_jsonable, to_jsonable
+
+    if store is None:
+        store = ResultStore()
+    func_id = (
+        getattr(func, "__module__", "?"),
+        getattr(func, "__qualname__", repr(func)),
+    )
+    total = len(argslist)
+    results: List = [None] * total
+    have: List[bool] = [False] * total
+    #: fingerprint -> indices sharing it (in-sweep duplicates run once).
+    misses: dict = {}
+    fps: List[str] = []
+    for i, args in enumerate(argslist):
+        fp = spec_fingerprint(("fan_out", func_id, tuple(args)))
+        fps.append(fp)
+        if fp in misses:
+            misses[fp].append(i)
+            continue
+        blob = store.get(fp)
+        if blob is not None:
+            results[i] = from_jsonable(blob["result"])
+            have[i] = True
+        else:
+            misses[fp] = [i]
+    done_so_far = sum(have)
+    if progress is not None and done_so_far:
+        progress(done_so_far, total)
+    order = [(fp, idxs) for fp, idxs in misses.items()]
+    jobs = [Job(func, tuple(argslist[idxs[0]])) for _, idxs in order]
+
+    def _sub_progress(done: int, _sub_total: int) -> None:
+        if progress is not None:
+            progress(done_so_far + done, total)
+
+    fresh = run_jobs(jobs, workers=workers, progress=_sub_progress)
+    for (fp, idxs), value in zip(order, fresh):
+        store.put(fp, {"result": to_jsonable(value)})
+        for i in idxs:
+            results[i] = value
+    return results
 
 
 def saturation_throughput(

@@ -225,6 +225,44 @@ class MetricsRegistry:
         return lines
 
 
+def _expo_name(name: str) -> str:
+    """Metric name -> exposition-safe identifier (dots/dashes -> underscores)."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"repro_{cleaned}"
+
+
+def text_exposition(registry: "MetricsRegistry") -> str:
+    """Prometheus-style text form of a registry (the ``/metrics`` body).
+
+    Counters map to ``counter``, gauges to ``gauge``, histograms to the
+    standard cumulative ``_bucket``/``_sum``/``_count`` triple.  Plain
+    text and line-oriented so any scraper (or ``curl | grep``) can read
+    it without a client library.
+    """
+    lines: List[str] = []
+    for name, counter in sorted(registry._counters.items()):
+        expo = _expo_name(name)
+        lines.append(f"# TYPE {expo} counter")
+        lines.append(f"{expo} {counter.value}")
+    for name, gauge in sorted(registry._gauges.items()):
+        expo = _expo_name(name)
+        lines.append(f"# TYPE {expo} gauge")
+        lines.append(f"{expo} {gauge.value:g}")
+    for name, hist in sorted(registry._histograms.items()):
+        expo = _expo_name(name)
+        lines.append(f"# TYPE {expo} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            lines.append(f'{expo}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{expo}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{expo}_sum {hist.total:g}")
+        lines.append(f"{expo}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 #: Per-process accumulator (workers drain it back to the parent).
 _PROC_REGISTRY = MetricsRegistry()
 

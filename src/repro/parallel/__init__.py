@@ -2,6 +2,7 @@
 
 from repro.parallel.pool import (
     Job,
+    JobError,
     WORKERS_ENV_VAR,
     default_workers,
     job_seed,
@@ -11,6 +12,7 @@ from repro.parallel.pool import (
 
 __all__ = [
     "Job",
+    "JobError",
     "WORKERS_ENV_VAR",
     "default_workers",
     "job_seed",

@@ -39,6 +39,19 @@ from repro.utils.rng import derive_seed
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 
+class JobError(RuntimeError):
+    """A job's function raised.
+
+    The message embeds the originating :meth:`Job.describe` (function,
+    args, kwargs — including the seed, which is always part of the
+    args/kwargs by convention) plus the original exception, so a failed
+    cell deep inside a thousand-job sweep is identifiable straight from
+    the traceback.  The message is a plain string so the exception
+    survives pickling back across the pool boundary; on the serial path
+    the original exception additionally rides along as ``__cause__``.
+    """
+
+
 @dataclass(frozen=True)
 class Job:
     """One unit of work: ``func(*args, **kwargs)``.
@@ -52,8 +65,23 @@ class Job:
     args: Tuple = ()
     kwargs: Dict[str, Any] = field(default_factory=dict)
 
+    def describe(self, limit: int = 400) -> str:
+        """Identifying repr: qualified function name + trimmed arguments."""
+        func = getattr(self.func, "__module__", "?") + "." + getattr(
+            self.func, "__qualname__", repr(self.func)
+        )
+        parts = [repr(a) for a in self.args]
+        parts += [f"{k}={v!r}" for k, v in self.kwargs.items()]
+        arglist = ", ".join(parts)
+        if len(arglist) > limit:
+            arglist = arglist[:limit] + "..."
+        return f"Job({func}({arglist}))"
+
     def run(self) -> Any:
-        return self.func(*self.args, **self.kwargs)
+        try:
+            return self.func(*self.args, **self.kwargs)
+        except Exception as exc:
+            raise JobError(f"{self.describe()} failed: {exc!r}") from exc
 
 
 def _call_job(job: Job) -> Any:

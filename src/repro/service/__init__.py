@@ -1,0 +1,49 @@
+"""Simulation-as-a-service: content-addressed store, job queue, HTTP server.
+
+The memoizing service layer over the simulator (see DESIGN.md):
+
+* :mod:`repro.service.spec` — :class:`SimSpec`, the canonical identity
+  of one simulation, and its executable form :func:`run_sim_spec`;
+* :mod:`repro.service.store` — :class:`ResultStore`, fingerprint-keyed
+  JSON blobs with atomic writes and LRU size capping;
+* :mod:`repro.service.queue` — :class:`JobQueue` (dedup, priorities,
+  timeout/retry) and :func:`run_campaign` (resumable manifest sweeps);
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the HTTP
+  face (``repro serve`` / ``repro submit``).
+"""
+
+from repro.service.client import JobFailedError, ServiceClient, ServiceError
+from repro.service.queue import (
+    CampaignReport,
+    JobQueue,
+    JobRecord,
+    QueueFull,
+    run_campaign,
+)
+from repro.service.server import ServiceServer
+from repro.service.spec import SimSpec, run_sim_spec, sim_result_payload
+from repro.service.store import (
+    STORE_ENV_VAR,
+    ResultStore,
+    default_store_root,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "CampaignReport",
+    "JobFailedError",
+    "JobQueue",
+    "JobRecord",
+    "QueueFull",
+    "ResultStore",
+    "STORE_ENV_VAR",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SimSpec",
+    "default_store_root",
+    "run_campaign",
+    "run_sim_spec",
+    "sim_result_payload",
+    "spec_fingerprint",
+]

@@ -1,0 +1,151 @@
+"""HTTP client for the campaign server (stdlib ``urllib`` only).
+
+Small, dependency-free, and symmetric with the server's endpoints.  The
+one piece of client-side policy lives in :meth:`ServiceClient.submit`:
+429 backpressure is retried with exponential backoff (the server is
+telling us it is at capacity, not that the request is wrong), and
+:meth:`ServiceClient.run` polls a submitted job to completion.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.spec import SimSpec
+
+
+class ServiceError(RuntimeError):
+    """Non-success response from the campaign server."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class JobFailedError(ServiceError):
+    """The server executed the job and it failed (state ``failed``)."""
+
+
+class ServiceClient:
+    """Talk to a :class:`repro.service.server.ServiceServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any], str]:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read().decode()
+                status = response.status
+                ctype = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode()
+            status = exc.code
+            ctype = exc.headers.get("Content-Type", "") if exc.headers else ""
+        if "application/json" in ctype:
+            return status, json.loads(raw), raw
+        return status, {}, raw
+
+    # -- endpoints -------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        status, payload, _ = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def metrics(self) -> str:
+        status, _, raw = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, {"error": raw})
+        return raw
+
+    def submit(
+        self,
+        spec: SimSpec,
+        priority: int = 0,
+        max_backoff_retries: int = 5,
+        backoff: float = 0.2,
+    ) -> Dict[str, Any]:
+        """``POST /jobs``; retries 429 backpressure with backoff."""
+        body = spec.to_dict()
+        if priority:
+            body["priority"] = priority
+        for attempt in range(max_backoff_retries + 1):
+            status, payload, _ = self._request("POST", "/jobs", body)
+            if status in (200, 202):
+                return payload
+            if status == 429 and attempt < max_backoff_retries:
+                time.sleep(
+                    max(
+                        float(payload.get("retry_after", 0)),
+                        backoff * (2 ** attempt),
+                    )
+                )
+                continue
+            raise ServiceError(status, payload)
+        raise ServiceError(429, payload)  # pragma: no cover — loop covers it
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        status, payload, _ = self._request("GET", f"/jobs/{job_id}")
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def result(self, fingerprint: str) -> Dict[str, Any]:
+        status, payload, _ = self._request("GET", f"/results/{fingerprint}")
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def wait_job(
+        self, job_id: str, timeout: float = 120.0, poll: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll ``GET /jobs/<id>`` until done/failed or ``timeout``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["status"] == "done":
+                return payload
+            if payload["status"] == "failed":
+                raise JobFailedError(500, payload)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload['status']} after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    def run(
+        self,
+        spec: SimSpec,
+        priority: int = 0,
+        timeout: float = 120.0,
+        poll: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Submit and wait: returns the terminal job payload."""
+        payload = self.submit(spec, priority=priority)
+        if payload["status"] == "done":
+            return payload
+        done = self.wait_job(payload["job_id"], timeout=timeout, poll=poll)
+        done.setdefault("cached", False)
+        return done

@@ -1,0 +1,455 @@
+"""Job queue: deduplicating, prioritized, retrying — on top of
+:func:`repro.parallel.run_jobs`.
+
+The queue accepts *specs* (plain JSON dicts), addresses each by its
+content fingerprint, and guarantees three service-grade properties the
+raw pool lacks:
+
+* **Dedup** — a spec already in the result store completes instantly
+  (cache hit); a spec already pending or running is *coalesced* onto the
+  existing record, so N concurrent identical submissions execute exactly
+  one simulation;
+* **Priorities and backpressure** — higher-priority submissions run
+  first (FIFO within a priority); ``max_depth`` bounds the pending set
+  and :class:`QueueFull` signals backpressure (the HTTP layer maps it to
+  429);
+* **Timeouts and retry** — each execution is wrapped with a wall-clock
+  timeout (SIGALRM inside pool workers; best-effort on the in-process
+  serial fallback, where a thread cannot be preempted) and failed jobs
+  are retried with exponential backoff before being marked FAILED.
+
+A scheduler thread drains the ready set in batches through
+``run_jobs`` — worker-process fan-out, ordering, and obs merging stay in
+one place (:mod:`repro.parallel.pool`).
+
+:func:`run_campaign` is the batch face of the same machinery: a sweep's
+specs become a *manifest* (atomic JSON sidecar); cells already in the
+store are skipped, the rest run in waves with results persisted after
+every wave, so a killed campaign restarts only its missing cells.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import os
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import Job, resolve_workers, run_jobs
+from repro.service.spec import run_sim_spec
+from repro.service.store import ResultStore, spec_fingerprint
+
+# Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class QueueFull(RuntimeError):
+    """Pending depth hit ``max_depth`` — back off and resubmit."""
+
+
+class JobTimeout(RuntimeError):
+    """A job exceeded its wall-clock budget."""
+
+
+@dataclass
+class JobRecord:
+    """Mutable bookkeeping for one submitted spec."""
+
+    job_id: str  # the spec fingerprint — job identity IS content identity
+    spec: Dict[str, Any]
+    priority: int = 0
+    state: str = PENDING
+    attempts: int = 0
+    cached: bool = False
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    not_before: float = 0.0
+    done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "fingerprint": self.job_id,
+            "status": self.state,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "cached": self.cached,
+        }
+        if self.state == DONE:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+def _guarded_run(
+    runner: Callable[[Dict[str, Any]], Dict[str, Any]],
+    spec: Dict[str, Any],
+    timeout: Optional[float],
+) -> Tuple[str, Any]:
+    """Run one spec, trapping failure into data (module-level: picklable).
+
+    Returning ``("error", message)`` instead of raising keeps one bad
+    cell from aborting the rest of its ``run_jobs`` batch.  The timeout
+    uses SIGALRM, which only exists on Unix and only fires in a thread
+    that is the process's main thread — true inside pool worker
+    processes, not on the serial in-thread fallback (best-effort there).
+    """
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise JobTimeout(f"job exceeded {timeout:g}s wall clock")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, float(timeout))
+    try:
+        return "ok", runner(spec)
+    except Exception as exc:  # noqa: BLE001 — converted to a FAILED record
+        return "error", f"{type(exc).__name__}: {exc}"
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+class JobQueue:
+    """Deduplicating priority queue executing specs through the pool."""
+
+    def __init__(
+        self,
+        runner: Callable[[Dict[str, Any]], Dict[str, Any]] = run_sim_spec,
+        store: Optional[ResultStore] = None,
+        workers: Optional[int] = None,
+        max_depth: int = 256,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.25,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.runner = runner
+        self.store = store if store is not None else ResultStore()
+        self.workers = resolve_workers(workers)
+        self.max_depth = max_depth
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.registry = registry if registry is not None else self.store.registry
+        self._records: Dict[str, JobRecord] = {}
+        self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, job_id)
+        self._seq = itertools.count()
+        self._lock = threading.Condition()
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "JobQueue":
+        if self._thread is None:
+            self._stopping = False
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-jobqueue", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        with self._lock:
+            self._stopping = True
+            self._lock.notify_all()
+        if wait and self._thread is not None:
+            self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "JobQueue":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Jobs admitted but not yet finished (pending + running)."""
+        with self._lock:
+            return sum(
+                1
+                for rec in self._records.values()
+                if rec.state in (PENDING, RUNNING)
+            )
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
+        record = self.get(job_id)
+        if record is None:
+            raise KeyError(job_id)
+        record.done_event.wait(timeout)
+        return record
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self, spec: Dict[str, Any], priority: int = 0
+    ) -> Tuple[JobRecord, bool]:
+        """Admit ``spec``; returns ``(record, fresh)``.
+
+        ``fresh`` is True only when this call created new pending work;
+        a store hit or coalescing onto an in-flight record returns False.
+        Raises :class:`QueueFull` past ``max_depth``.
+        """
+        job_id = spec_fingerprint(spec)
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is not None and record.state in (PENDING, RUNNING):
+                self.registry.counter("service.queue.coalesced").inc()
+                return record, False
+            if record is not None and record.state == DONE:
+                self.registry.counter("service.queue.memo_hit").inc()
+                return record, False
+            # FAILED records (or unknown ids) fall through to resubmission.
+            payload = self.store.get(job_id)
+            if payload is not None:
+                record = JobRecord(
+                    job_id, dict(spec), priority, state=DONE, cached=True,
+                    result=payload,
+                )
+                record.done_event.set()
+                self._records[job_id] = record
+                return record, False
+            depth = sum(
+                1
+                for rec in self._records.values()
+                if rec.state in (PENDING, RUNNING)
+            )
+            if depth >= self.max_depth:
+                self.registry.counter("service.queue.rejected").inc()
+                raise QueueFull(
+                    f"queue depth {depth} at max_depth={self.max_depth}"
+                )
+            record = JobRecord(job_id, dict(spec), priority)
+            self._records[job_id] = record
+            heapq.heappush(self._heap, (-priority, next(self._seq), job_id))
+            self.registry.counter("service.queue.submitted").inc()
+            self._lock.notify_all()
+            return record, True
+
+    # -- scheduler -------------------------------------------------------
+
+    def _pop_ready_batch(self) -> List[JobRecord]:
+        """Under the lock: pop up to ``workers`` runnable records.
+
+        Entries whose retry backoff has not elapsed are held back
+        (re-pushed); the caller sleeps until the earliest becomes due.
+        """
+        now = time.monotonic()
+        batch: List[JobRecord] = []
+        deferred: List[Tuple[int, int, str]] = []
+        while self._heap and len(batch) < self.workers:
+            entry = heapq.heappop(self._heap)
+            record = self._records.get(entry[2])
+            if record is None or record.state != PENDING:
+                continue  # cancelled/stale entry
+            if record.not_before > now:
+                deferred.append(entry)
+                continue
+            record.state = RUNNING
+            batch.append(record)
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+        return batch
+
+    def _loop(self) -> None:
+        while True:
+            batch: List[JobRecord] = []
+            with self._lock:
+                while not self._stopping:
+                    batch = self._pop_ready_batch()
+                    if batch:
+                        break
+                    # Sleep until the earliest backoff expires (or new work).
+                    delays = [
+                        self._records[job_id].not_before - time.monotonic()
+                        for _, _, job_id in self._heap
+                        if job_id in self._records
+                    ]
+                    wait_for = min(delays) if delays else None
+                    self._lock.wait(
+                        max(0.01, wait_for) if wait_for is not None else None
+                    )
+                if self._stopping and not batch:
+                    return
+            jobs = [
+                Job(_guarded_run, (self.runner, record.spec, self.timeout))
+                for record in batch
+            ]
+            outcomes = run_jobs(jobs, workers=self.workers)
+            with self._lock:
+                for record, (status, value) in zip(batch, outcomes):
+                    if status == "ok":
+                        self.store.put(record.job_id, value)
+                        record.result = value
+                        record.state = DONE
+                        record.done_event.set()
+                        self.registry.counter("service.queue.executed").inc()
+                        continue
+                    record.attempts += 1
+                    if record.attempts <= self.retries:
+                        record.state = PENDING
+                        record.not_before = time.monotonic() + self.backoff * (
+                            2 ** (record.attempts - 1)
+                        )
+                        heapq.heappush(
+                            self._heap,
+                            (-record.priority, next(self._seq), record.job_id),
+                        )
+                        self.registry.counter("service.queue.retried").inc()
+                    else:
+                        record.error = value
+                        record.state = FAILED
+                        record.done_event.set()
+                        self.registry.counter("service.queue.failed").inc()
+                self._lock.notify_all()
+
+
+# -- campaigns -----------------------------------------------------------
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one (possibly resumed) campaign run."""
+
+    name: str
+    total: int
+    hits: int
+    executed: int
+    failed: int
+    #: Result payloads in the order the specs were given (None on failure).
+    results: List[Optional[Dict[str, Any]]]
+    manifest_path: Optional[str] = None
+
+    @property
+    def all_hits(self) -> bool:
+        return self.hits == self.total
+
+
+def _write_manifest(path: Path, manifest: Dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".manifest-", suffix=".tmp")
+    with os.fdopen(fd, "w") as handle:
+        json.dump(manifest, handle, sort_keys=True, indent=1)
+    os.replace(tmp, path)
+
+
+def run_campaign(
+    specs: Sequence[Dict[str, Any]],
+    store: Optional[ResultStore] = None,
+    runner: Callable[[Dict[str, Any]], Dict[str, Any]] = run_sim_spec,
+    workers: Optional[int] = None,
+    manifest_path: Optional[os.PathLike] = None,
+    name: str = "campaign",
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CampaignReport:
+    """Run a spec list through the store, executing only what's missing.
+
+    Identical specs within the list coalesce to one execution.  Results
+    are persisted wave-by-wave (a wave is ``2 x workers`` cells), and the
+    manifest — the full cell list plus which fingerprints are done — is
+    rewritten atomically after every wave, so a killed campaign resumes
+    with only its missing cells.
+    """
+    store = store if store is not None else ResultStore()
+    n_workers = resolve_workers(workers)
+    specs = [dict(spec) for spec in specs]
+    fps = [spec_fingerprint(spec) for spec in specs]
+    results: List[Optional[Dict[str, Any]]] = [None] * len(specs)
+
+    manifest: Dict[str, Any] = {
+        "version": 1,
+        "name": name,
+        "cells": {fp: spec for fp, spec in zip(fps, specs)},
+        "done": [],
+    }
+    path = Path(manifest_path) if manifest_path is not None else None
+    if path is not None and path.exists():
+        try:
+            previous = json.loads(path.read_text())
+            manifest["cells"].update(previous.get("cells", {}))
+        except ValueError:
+            pass  # torn manifest: the store itself still carries resume state
+
+    hits = 0
+    missing: Dict[str, List[int]] = {}
+    done_fps: List[str] = []
+    for i, fp in enumerate(fps):
+        if fp in missing:
+            missing[fp].append(i)  # in-batch duplicate: one execution
+            continue
+        payload = store.get(fp)
+        if payload is not None:
+            results[i] = payload
+            hits += 1
+            done_fps.append(fp)
+            if progress is not None:
+                progress(sum(1 for r in results if r is not None), len(specs))
+        else:
+            missing[fp] = [i]
+    manifest["done"] = sorted(set(done_fps))
+    if path is not None:
+        _write_manifest(path, manifest)
+
+    executed = 0
+    failed = 0
+    order = list(missing.items())
+    wave_size = max(1, n_workers * 2)
+    for start in range(0, len(order), wave_size):
+        wave = order[start : start + wave_size]
+        jobs = [Job(_guarded_run, (runner, specs[idxs[0]], None)) for _, idxs in wave]
+        outcomes = run_jobs(jobs, workers=n_workers)
+        for (fp, idxs), (status, value) in zip(wave, outcomes):
+            if status == "ok":
+                store.put(fp, value)
+                executed += 1
+                done_fps.append(fp)
+                for i in idxs:
+                    results[i] = value
+            else:
+                failed += 1
+                store.registry.counter("service.campaign.failed").inc()
+            if progress is not None:
+                progress(sum(1 for r in results if r is not None), len(specs))
+        manifest["done"] = sorted(set(done_fps))
+        if path is not None:
+            _write_manifest(path, manifest)
+
+    # Duplicate indices that piggybacked on a store hit count as hits too.
+    hits += sum(
+        len(idxs) - 1 for idxs in missing.values() if len(idxs) > 1
+    )
+    return CampaignReport(
+        name=name,
+        total=len(specs),
+        hits=hits,
+        executed=executed,
+        failed=failed,
+        results=results,
+        manifest_path=str(path) if path is not None else None,
+    )

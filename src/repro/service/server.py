@@ -1,0 +1,256 @@
+"""HTTP campaign server: simulations as a memoized service.
+
+Pure stdlib (:class:`http.server.ThreadingHTTPServer`) — no new
+dependencies.  The server owns one :class:`~repro.service.store.ResultStore`
+and one :class:`~repro.service.queue.JobQueue`; every request thread
+talks to them under the queue's lock, so concurrent duplicate
+submissions coalesce to a single executed simulation.
+
+Endpoints:
+
+* ``POST /jobs`` — body is a :class:`~repro.service.spec.SimSpec` JSON
+  dict (optional ``"priority"`` rides alongside).  Responds ``200`` with
+  the full payload on a cache hit, ``202`` with the job id otherwise,
+  ``400`` on a malformed spec, and ``429`` (+ ``Retry-After``) when the
+  queue is at ``max_depth`` — clients are expected to back off.
+* ``GET /jobs/<id>`` — job status; includes the result once done.
+* ``GET /results/<fingerprint>`` — the stored blob, or 404.
+* ``GET /metrics`` — text exposition of the merged metrics registry
+  (store hit/miss, queue counters, live depth/records gauges).
+* ``GET /healthz`` — liveness: ``{"ok": true, ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import repro
+from repro.obs.metrics import MetricsRegistry, text_exposition
+from repro.service.queue import DONE, JobQueue, QueueFull
+from repro.service.spec import SimSpec, run_sim_spec
+from repro.service.store import ResultStore, spec_fingerprint
+
+#: Default bind address of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the owning :class:`ServiceServer`."""
+
+    server_version = f"repro-service/{repro.__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # The ThreadingHTTPServer subclass carries the service reference.
+    @property
+    def service(self) -> "ServiceServer":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.service.quiet:
+            super().log_message(format, *args)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send_json(
+        self, status: int, payload: Dict[str, Any], headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("empty request body")
+        raw = self.rfile.read(length)
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- routes ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server contract
+        if self.path.rstrip("/") != "/jobs":
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        try:
+            body = self._read_json_body()
+            priority = int(body.pop("priority", 0))
+            spec = SimSpec.from_dict(body)
+        except (ValueError, TypeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        try:
+            record, _fresh = self.service.queue.submit(spec.to_dict(), priority)
+        except QueueFull as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after": 1},
+                headers={"Retry-After": "1"},
+            )
+            return
+        if record.state == DONE:
+            self._send_json(
+                200,
+                {
+                    "status": "done",
+                    "cached": True,
+                    "job_id": record.job_id,
+                    "fingerprint": record.job_id,
+                    "result": record.result,
+                },
+            )
+            return
+        self._send_json(
+            202,
+            {
+                "status": record.state,
+                "cached": False,
+                "job_id": record.job_id,
+                "fingerprint": record.job_id,
+            },
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server contract
+        path = self.path.rstrip("/")
+        if path == "/healthz":
+            self._send_json(
+                200, {"ok": True, "version": repro.__version__, "depth": self.service.queue.depth}
+            )
+        elif path == "/metrics":
+            self._send_text(200, self.service.render_metrics())
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            record = self.service.queue.get(job_id)
+            if record is None:
+                self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            else:
+                self._send_json(200, record.to_dict())
+        elif path.startswith("/results/"):
+            fp = path[len("/results/"):]
+            try:
+                payload = self.service.store.get(fp)
+            except ValueError:
+                payload = None
+            if payload is None:
+                self._send_json(404, {"error": f"no result for {fp!r}"})
+            else:
+                self._send_json(200, payload)
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+
+class _Httpd(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ServiceServer:
+    """One store + one queue + one threaded HTTP front end."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        store: Optional[ResultStore] = None,
+        runner=run_sim_spec,
+        workers: Optional[int] = None,
+        max_depth: int = 256,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        quiet: bool = False,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.store = store if store is not None else ResultStore(registry=self.registry)
+        self.store.registry = self.registry
+        self.queue = JobQueue(
+            runner=runner,
+            store=self.store,
+            workers=workers,
+            max_depth=max_depth,
+            timeout=timeout,
+            retries=retries,
+            registry=self.registry,
+        )
+        self.quiet = quiet
+        self.httpd = _Httpd((host, port), ServiceHandler)
+        self.httpd.service = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- info ------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def render_metrics(self) -> str:
+        self.registry.gauge("service.queue.depth").set(self.queue.depth)
+        self.registry.gauge("service.queue.records").set(len(self.queue._records))
+        self.registry.gauge("service.store.blobs").set(len(self.store))
+        return text_exposition(self.registry)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ServiceServer":
+        """Start queue + HTTP threads; returns immediately (for tests)."""
+        self.queue.start()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever, name="repro-httpd", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking form used by ``repro serve``."""
+        self.queue.start()
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.queue.stop(wait=False)
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.queue.stop(wait=False)
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def fingerprint_for(spec: SimSpec) -> str:
+    """Fingerprint a spec exactly as ``POST /jobs`` would."""
+    return spec_fingerprint(spec.to_dict())

@@ -1,0 +1,144 @@
+"""Canonical simulation specs: the submission unit of the service.
+
+A :class:`SimSpec` is the *complete* identity of one simulation — mesh
+dimensions, fault derivation, scheme, traffic, measurement window, every
+protocol knob, and the seed.  Two specs with equal canonical encodings
+produce bit-identical results (the simulator is deterministic), which is
+what makes content-addressed memoization sound: the fingerprint of the
+spec *is* the identity of the result.
+
+``run_sim_spec`` is the module-level executable form (picklable, so the
+job queue can fan it over :func:`repro.parallel.run_jobs` workers); it
+returns a plain-JSON payload so results cross process and HTTP
+boundaries without a custom decoder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.protocols import SCHEMES, make_scheme
+from repro.sim.config import SimConfig
+from repro.sim.deadlock import DeadlockMonitor
+from repro.sim.engine import WindowResult, run_with_window
+from repro.sim.network import Network
+from repro.topology.faults import inject_link_faults, inject_router_faults
+from repro.topology.mesh import Topology, mesh
+
+#: Bump when a simulator change invalidates previously stored results.
+#: Folded (with the package version) into every fingerprint salt.
+SPEC_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """Everything that determines one simulation's outcome."""
+
+    width: int = 8
+    height: int = 8
+    #: Faults derived from the healthy mesh with ``random.Random(seed)``
+    #: (the same derivation the ``simulate`` CLI uses).
+    link_faults: int = 0
+    router_faults: int = 0
+    scheme: str = "static-bubble"
+    pattern: str = "uniform_random"
+    rate: float = 0.05
+    warmup: int = 500
+    measure: int = 2000
+    vcs_per_vnet: int = 4
+    vnets: int = 1
+    sb_t_dd: int = 34
+    seed: int = 1
+    monitor: bool = False
+
+    def validate(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; have {sorted(SCHEMES)}"
+            )
+        if self.width < 1 or self.height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        if self.warmup < 0 or self.measure < 1:
+            raise ValueError("need warmup >= 0 and measure >= 1")
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError("rate must be within [0, 1]")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimSpec":
+        """Build from a client-supplied dict; unknown keys are an error.
+
+        Rejecting unknown keys (rather than ignoring them) keeps the
+        fingerprint honest — a typo'd parameter must not silently alias
+        the default-parameter spec's cache entry.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown spec fields: {', '.join(unknown)}")
+        spec = cls(**payload)
+        spec.validate()
+        return spec
+
+    # -- materialization -------------------------------------------------
+
+    def build_topology(self) -> Topology:
+        topo = mesh(self.width, self.height)
+        rng = random.Random(self.seed)
+        if self.link_faults:
+            topo = inject_link_faults(topo, self.link_faults, rng)
+        if self.router_faults:
+            topo = inject_router_faults(topo, self.router_faults, rng)
+        return topo
+
+    def build_config(self) -> SimConfig:
+        return SimConfig(
+            width=self.width,
+            height=self.height,
+            vnets=self.vnets,
+            vcs_per_vnet=self.vcs_per_vnet,
+            sb_t_dd=self.sb_t_dd,
+        )
+
+
+def sim_result_payload(
+    spec: SimSpec, result: WindowResult, network: Network
+) -> Dict[str, Any]:
+    """Plain-JSON result payload (the blob the store persists).
+
+    The same shape serves ``simulate --json``, ``POST /jobs`` responses,
+    and ``GET /results/<fingerprint>`` — one serializer, three surfaces.
+    """
+    return {
+        "spec": spec.to_dict(),
+        "result": dataclasses.asdict(result),
+        "stats": network.stats.summary(),
+        "topology": network.topo.to_spec(),
+    }
+
+
+def run_sim_spec(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one spec; module-level so it pickles to pool workers."""
+    spec = SimSpec.from_dict(dict(spec_dict))
+    topo = spec.build_topology()
+    traffic_kwargs = {"vnets": spec.vnets}
+    from repro.traffic.synthetic import make_pattern
+
+    traffic = make_pattern(
+        spec.pattern, topo, spec.rate, seed=spec.seed, **traffic_kwargs
+    )
+    network = Network(
+        topo, spec.build_config(), make_scheme(spec.scheme), traffic, seed=spec.seed
+    )
+    result = run_with_window(
+        network,
+        warmup=spec.warmup,
+        measure=spec.measure,
+        monitor=DeadlockMonitor() if spec.monitor else None,
+    )
+    return sim_result_payload(spec, result, network)

@@ -151,6 +151,36 @@ class Topology:
         clone._link_active = dict(self._link_active)
         return clone
 
+    # -- canonical serialization ----------------------------------------
+
+    def to_spec(self) -> Dict[str, object]:
+        """Canonical JSON-ready description (used for content addressing).
+
+        Only the deviations from the healthy mesh are recorded, in sorted
+        order, so two topologies constructed by different fault orders
+        but ending in the same state serialize identically.
+        """
+        return {
+            "width": self.width,
+            "height": self.height,
+            "inactive_nodes": [
+                n for n in self.all_nodes() if not self._node_active[n]
+            ],
+            "inactive_links": sorted(
+                sorted(link) for link, on in self._link_active.items() if not on
+            ),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "Topology":
+        """Rebuild a topology from :meth:`to_spec` output."""
+        topo = cls(int(spec["width"]), int(spec["height"]))
+        for node in spec.get("inactive_nodes", ()):
+            topo.deactivate_node(int(node))
+        for u, v in spec.get("inactive_links", ()):
+            topo.deactivate_link(int(u), int(v))
+        return topo
+
     def __repr__(self) -> str:
         return (
             f"Topology({self.width}x{self.height}, "

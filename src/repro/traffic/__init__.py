@@ -9,7 +9,7 @@ from repro.traffic.synthetic import (
     UniformRandomTraffic,
     make_pattern,
 )
-from repro.traffic.trace import TraceEvent, TraceTraffic
+from repro.traffic.trace import TraceEvent, TraceTraffic, load_trace, save_trace
 from repro.traffic.workloads import (
     PARSEC_SPECS,
     RODINIA_SPECS,
@@ -31,6 +31,8 @@ __all__ = [
     "make_pattern",
     "TraceEvent",
     "TraceTraffic",
+    "load_trace",
+    "save_trace",
     "PARSEC_SPECS",
     "RODINIA_SPECS",
     "WorkloadSpec",

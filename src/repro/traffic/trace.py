@@ -8,11 +8,16 @@ runtime" is the cycle at which the network drains the whole trace, and
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+import json
+import os
+from typing import Iterable, List, Sequence, Tuple, Union
 
 from repro.traffic.base import PacketSpec, TrafficGenerator
 
 TraceEvent = Tuple[int, int, int, int, int]  # (cycle, src, dst, vnet, size)
+
+#: On-disk trace format version (bump on incompatible layout changes).
+TRACE_FORMAT_VERSION = 1
 
 
 class TraceTraffic(TrafficGenerator):
@@ -44,3 +49,48 @@ class TraceTraffic(TrafficGenerator):
         """Rewind (traces are replayed across schemes for fair comparison)."""
         self._cursor = 0
         return self
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        return save_trace(self, path)
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "TraceTraffic":
+        return load_trace(path)
+
+
+def save_trace(trace: TraceTraffic, path: Union[str, os.PathLike]) -> None:
+    """Persist a trace as JSON: ``{"version", "events": [[c,s,d,v,size]..]}``.
+
+    Events are written in the trace's (cycle-sorted) replay order, so a
+    loaded trace injects the *identical* sequence — same cycles, same
+    destinations, same sizes — which is what makes recorded workloads a
+    sound cache/service payload.  Atomic write (temp + rename): a killed
+    recorder never leaves a torn trace.
+    """
+    payload = {
+        "version": TRACE_FORMAT_VERSION,
+        "events": [list(event) for event in trace.events],
+    }
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+    os.replace(tmp, path)
+
+
+def load_trace(path: Union[str, os.PathLike]) -> TraceTraffic:
+    """Inverse of :func:`save_trace`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    events = []
+    for event in payload["events"]:
+        if len(event) != 5:
+            raise ValueError(f"malformed trace event: {event!r}")
+        events.append(tuple(int(v) for v in event))
+    return TraceTraffic(events)

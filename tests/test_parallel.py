@@ -19,6 +19,7 @@ from repro.experiments import fig8_latency
 from repro.experiments.common import run_synthetic
 from repro.parallel import (
     Job,
+    JobError,
     WORKERS_ENV_VAR,
     default_workers,
     job_seed,
@@ -107,6 +108,41 @@ class TestRunJobs:
         assert pooled == direct
         assert pooled2 == direct
         assert extra != direct  # different rate/seed really ran
+
+
+def _explode(x: int, *, why: str = "bad input") -> int:
+    raise ValueError(f"{why}: {x}")
+
+
+class TestJobError:
+    def test_describe_names_func_args_kwargs(self):
+        job = Job(_explode, (3,), {"why": "nope"})
+        text = job.describe()
+        assert "_explode" in text
+        assert "3" in text and "why='nope'" in text
+
+    def test_describe_trims_long_args(self):
+        job = Job(_square, ("x" * 5000,))
+        text = job.describe(limit=400)
+        assert text.endswith("...))")
+        assert len(text) < 500  # limit + function name + framing
+
+    def test_serial_failure_identifies_job(self):
+        jobs = [Job(_square, (1,)), Job(_explode, (9,))]
+        with pytest.raises(JobError, match=r"_explode.*9"):
+            run_jobs(jobs, workers=1)
+
+    def test_serial_failure_chains_cause(self):
+        with pytest.raises(JobError) as exc_info:
+            run_jobs([Job(_explode, (1,))], workers=1)
+        assert isinstance(exc_info.value.__cause__, ValueError)
+
+    def test_pool_failure_identifies_job(self):
+        # The original traceback cannot cross the process boundary, but
+        # the job identity and exception repr must.
+        jobs = [Job(_square, (i,)) for i in range(3)] + [Job(_explode, (7,))]
+        with pytest.raises(JobError, match=r"_explode\(7\).*ValueError"):
+            run_jobs(jobs, workers=2)
 
 
 class TestWorkerResolution:

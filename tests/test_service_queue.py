@@ -1,0 +1,302 @@
+"""Tests for the job queue, campaign manifests, and the fan_out cache.
+
+The runners are module-level (picklable) and record each *execution* as
+a uniquely named file in a directory passed through the spec — counting
+those files proves the dedup/coalescing claims across process
+boundaries, where in-memory counters cannot.
+"""
+
+import json
+import os
+import threading
+import time
+import uuid
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.experiments.common import fan_out
+from repro.service.queue import (
+    DONE,
+    FAILED,
+    JobQueue,
+    QueueFull,
+    run_campaign,
+)
+from repro.service.store import ResultStore, spec_fingerprint
+
+
+def _log_execution(spec):
+    log_dir = spec.get("log_dir")
+    if log_dir:
+        stamp = f"{time.monotonic():.6f} {spec.get('tag', '')}"
+        (Path(log_dir) / uuid.uuid4().hex).write_text(stamp)
+
+
+def runner_ok(spec):
+    _log_execution(spec)
+    return {"value": spec["value"] * 2}
+
+
+def runner_sleepy(spec):
+    _log_execution(spec)
+    time.sleep(spec["sleep"])
+    return {"slept": spec["sleep"]}
+
+
+def runner_flaky(spec):
+    marker = Path(spec["marker"])
+    if not marker.exists():
+        marker.write_text("failed once")
+        raise RuntimeError("transient failure")
+    return {"recovered": True}
+
+
+def runner_boom(spec):
+    raise ValueError("this spec always fails")
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(root=tmp_path / "store", registry=MetricsRegistry())
+
+
+def make_queue(store, runner, **kwargs):
+    kwargs.setdefault("workers", 2)
+    return JobQueue(runner=runner, store=store, **kwargs)
+
+
+class TestJobQueue:
+    def test_fresh_submit_executes_and_persists(self, store, tmp_path):
+        with make_queue(store, runner_ok) as queue:
+            record, fresh = queue.submit({"value": 21, "log_dir": str(tmp_path)})
+            assert fresh
+            record = queue.wait(record.job_id, timeout=30)
+        assert record.state == DONE
+        assert record.result == {"value": 42}
+        assert store.get(record.job_id) == {"value": 42}
+        assert store.registry.counters["service.queue.executed"] == 1
+
+    def test_store_hit_completes_instantly(self, store):
+        spec = {"value": 5}
+        fp = spec_fingerprint(spec)
+        store.put(fp, {"value": 10})
+        queue = make_queue(store, runner_ok)  # never started: no execution
+        record, fresh = queue.submit(spec)
+        assert not fresh
+        assert record.state == DONE
+        assert record.cached
+        assert record.result == {"value": 10}
+
+    def test_inflight_coalescing(self, store, tmp_path):
+        spec = {"value": 1, "sleep": 0.4, "log_dir": str(tmp_path / "runs")}
+        (tmp_path / "runs").mkdir()
+        with make_queue(store, runner_sleepy) as queue:
+            first, fresh1 = queue.submit(spec)
+            second, fresh2 = queue.submit(spec)
+            assert fresh1 and not fresh2
+            assert first is second
+            queue.wait(first.job_id, timeout=30)
+        assert len(list((tmp_path / "runs").iterdir())) == 1
+        assert store.registry.counters["service.queue.coalesced"] == 1
+
+    def test_concurrent_duplicate_submissions_single_execution(
+        self, store, tmp_path
+    ):
+        """Acceptance: N racing identical submissions -> one simulation."""
+        runs = tmp_path / "runs"
+        runs.mkdir()
+        spec = {"value": 9, "sleep": 0.3, "log_dir": str(runs)}
+        with make_queue(store, runner_sleepy) as queue:
+            records = []
+            barrier = threading.Barrier(8)
+
+            def submit():
+                barrier.wait()
+                records.append(queue.submit(spec)[0])
+
+            threads = [threading.Thread(target=submit) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            queue.wait(records[0].job_id, timeout=30)
+        assert len({id(r) for r in records}) == 1
+        assert len(list(runs.iterdir())) == 1
+
+    def test_priority_order(self, store, tmp_path):
+        runs = tmp_path / "runs"
+        runs.mkdir()
+        queue = make_queue(store, runner_ok, workers=1)
+        # Submitted low-first; the high-priority spec must execute first.
+        low, _ = queue.submit({"value": 1, "tag": "low", "log_dir": str(runs)}, priority=0)
+        high, _ = queue.submit({"value": 2, "tag": "high", "log_dir": str(runs)}, priority=5)
+        with queue:
+            queue.wait(low.job_id, timeout=30)
+            queue.wait(high.job_id, timeout=30)
+        order = sorted(
+            (f.read_text() for f in runs.iterdir()),
+            key=lambda line: float(line.split()[0]),
+        )
+        assert [line.split()[1] for line in order] == ["high", "low"]
+
+    def test_queue_full_backpressure(self, store, tmp_path):
+        with make_queue(store, runner_sleepy, workers=1, max_depth=1) as queue:
+            first, _ = queue.submit({"value": 0, "sleep": 1.0})
+            with pytest.raises(QueueFull):
+                queue.submit({"value": 1, "sleep": 1.0})
+            queue.wait(first.job_id, timeout=30)
+        assert store.registry.counters["service.queue.rejected"] == 1
+
+    def test_retry_recovers_transient_failure(self, store, tmp_path):
+        marker = tmp_path / "marker"
+        with make_queue(
+            store, runner_flaky, retries=2, backoff=0.01
+        ) as queue:
+            record, _ = queue.submit({"marker": str(marker)})
+            record = queue.wait(record.job_id, timeout=30)
+        assert record.state == DONE
+        assert record.attempts == 1
+        assert record.result == {"recovered": True}
+        assert store.registry.counters["service.queue.retried"] == 1
+
+    def test_permanent_failure_reports_error(self, store):
+        with make_queue(store, runner_boom, retries=0) as queue:
+            record, _ = queue.submit({"value": 1})
+            record = queue.wait(record.job_id, timeout=30)
+        assert record.state == FAILED
+        assert "ValueError" in record.error
+        assert store.registry.counters["service.queue.failed"] == 1
+
+    def test_timeout_enforced_in_pool_workers(self, store):
+        if not hasattr(os, "fork"):
+            pytest.skip("timeout preemption needs fork + SIGALRM")
+        queue = make_queue(
+            store, runner_sleepy, workers=2, timeout=0.4, retries=0
+        )
+        # Two pending jobs so the batch takes the pool path, where the
+        # per-job SIGALRM budget is enforceable.
+        a, _ = queue.submit({"value": 0, "sleep": 30.0})
+        b, _ = queue.submit({"value": 1, "sleep": 30.0})
+        start = time.monotonic()
+        with queue:
+            a = queue.wait(a.job_id, timeout=30)
+            b = queue.wait(b.job_id, timeout=30)
+        assert a.state == FAILED and b.state == FAILED
+        assert "JobTimeout" in a.error
+        assert time.monotonic() - start < 20
+
+    def test_wait_unknown_job(self, store):
+        queue = make_queue(store, runner_ok)
+        with pytest.raises(KeyError):
+            queue.wait("no-such-job")
+
+
+class TestCampaign:
+    def test_cold_run_executes_and_dedupes(self, store, tmp_path):
+        runs = tmp_path / "runs"
+        runs.mkdir()
+        specs = [
+            {"value": 1, "log_dir": str(runs)},
+            {"value": 2, "log_dir": str(runs)},
+            {"value": 1, "log_dir": str(runs)},  # in-batch duplicate
+        ]
+        report = run_campaign(
+            specs, store=store, runner=runner_ok, workers=2,
+            manifest_path=tmp_path / "manifest.json",
+        )
+        assert report.total == 3
+        assert report.executed == 2
+        assert report.hits == 1  # the duplicate piggybacks
+        assert report.failed == 0
+        assert report.results[0] == report.results[2] == {"value": 2}
+        assert len(list(runs.iterdir())) == 2
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert len(manifest["done"]) == 2
+
+    def test_warm_rerun_is_all_hits(self, store, tmp_path):
+        specs = [{"value": i} for i in range(4)]
+        run_campaign(specs, store=store, runner=runner_ok, workers=2)
+        report = run_campaign(specs, store=store, runner=runner_ok, workers=2)
+        assert report.all_hits
+        assert report.executed == 0
+        assert report.results == [{"value": i * 2} for i in range(4)]
+
+    def test_resume_runs_only_missing_cells(self, store, tmp_path):
+        runs = tmp_path / "runs"
+        runs.mkdir()
+        specs = [{"value": i, "log_dir": str(runs)} for i in range(4)]
+        # Simulate a killed sweep: two cells already persisted.
+        for spec in specs[:2]:
+            store.put(spec_fingerprint(spec), runner_ok(dict(spec, log_dir=None)))
+        report = run_campaign(
+            specs, store=store, runner=runner_ok, workers=2,
+            manifest_path=tmp_path / "manifest.json",
+        )
+        assert report.hits == 2
+        assert report.executed == 2
+        assert len(list(runs.iterdir())) == 2  # only the missing cells ran
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert len(manifest["done"]) == 4
+
+    def test_failed_cell_reported_not_fatal(self, store):
+        report = run_campaign(
+            [{"value": 1}], store=store, runner=runner_boom, workers=1
+        )
+        assert report.failed == 1
+        assert report.results == [None]
+
+    def test_progress_callback(self, store):
+        seen = []
+        run_campaign(
+            [{"value": i} for i in range(3)],
+            store=store,
+            runner=runner_ok,
+            workers=1,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[-1] == (3, 3)
+
+
+# -- fan_out cache --------------------------------------------------------
+
+
+def _logged_pair(x, y, log_dir):
+    _log_execution({"log_dir": log_dir})
+    return (x + y, {"k": (x, y)})
+
+
+class TestFanOutCached:
+    def test_warm_rerun_identical_and_unexecuted(self, store, tmp_path):
+        runs = tmp_path / "runs"
+        runs.mkdir()
+        argslist = [(1, 2, str(runs)), (3, 4, str(runs)), (1, 2, str(runs))]
+        cold = fan_out(_logged_pair, argslist, workers=1, cached=True, store=store)
+        assert len(list(runs.iterdir())) == 2  # in-sweep duplicate coalesced
+        warm = fan_out(_logged_pair, argslist, workers=1, cached=True, store=store)
+        assert len(list(runs.iterdir())) == 2  # nothing re-executed
+        assert warm == cold
+        # Round-trip fidelity: tuples stay tuples, nested keys included.
+        assert isinstance(warm[0], tuple)
+        assert warm[0][1]["k"] == (1, 2)
+        assert store.registry.counters["service.store.hit"] >= 3
+
+    def test_uncached_path_untouched(self, tmp_path, store):
+        results = fan_out(
+            _logged_pair,
+            [(1, 1, str(tmp_path))],
+            workers=1,
+            cached=False,
+            store=store,
+        )
+        assert results == [(2, {"k": (1, 1)})]
+        assert len(store) == 0
+
+    def test_env_var_gates_default(self, monkeypatch, store, tmp_path):
+        from repro.experiments.common import CACHE_ENV_VAR, cache_enabled
+
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert not cache_enabled()
+        monkeypatch.setenv(CACHE_ENV_VAR, "1")
+        assert cache_enabled()

@@ -1,0 +1,152 @@
+"""Tests for the content-addressed result store (repro.service.store)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.spec import SimSpec
+from repro.service.store import (
+    STORE_ENV_VAR,
+    ResultStore,
+    default_store_root,
+    spec_fingerprint,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(root=tmp_path / "store", registry=MetricsRegistry())
+
+
+class TestFingerprint:
+    def test_pure_function_of_spec(self):
+        a = SimSpec(width=4, height=4, seed=3)
+        b = SimSpec(width=4, height=4, seed=3)
+        assert spec_fingerprint(a.to_dict()) == spec_fingerprint(b.to_dict())
+
+    def test_every_field_matters(self):
+        base = SimSpec()
+        for change in (
+            {"width": 6},
+            {"scheme": "escape-vc"},
+            {"rate": 0.06},
+            {"seed": 2},
+            {"sb_t_dd": 35},
+            {"monitor": True},
+        ):
+            spec = SimSpec(**{**base.to_dict(), **change})
+            assert spec_fingerprint(spec.to_dict()) != spec_fingerprint(
+                base.to_dict()
+            ), change
+
+    def test_hex_shape(self):
+        fp = spec_fingerprint(SimSpec().to_dict())
+        assert len(fp) == 64
+        assert set(fp) <= set("0123456789abcdef")
+
+
+class TestStoreBasics:
+    def test_miss_then_hit(self, store):
+        fp = spec_fingerprint({"x": 1})
+        assert store.get(fp) is None
+        store.put(fp, {"value": 42})
+        assert store.get(fp) == {"value": 42}
+        assert store.registry.counters["service.store.miss"] == 1
+        assert store.registry.counters["service.store.hit"] == 1
+        assert store.registry.counters["service.store.put"] == 1
+
+    def test_sharded_layout(self, store):
+        fp = spec_fingerprint({"x": 2})
+        path = store.put(fp, {"v": 1})
+        assert path.parent.name == fp[:2]
+        assert path.name == f"{fp}.json"
+
+    def test_len_and_iteration(self, store):
+        fps = [spec_fingerprint({"i": i}) for i in range(5)]
+        for fp in fps:
+            store.put(fp, {"fp": fp})
+        assert len(store) == 5
+        assert sorted(store.iter_fingerprints()) == sorted(fps)
+
+    def test_rejects_non_fingerprint_keys(self, store):
+        with pytest.raises(ValueError):
+            store.get("../../etc/passwd")
+        with pytest.raises(ValueError):
+            store.put("short", {})
+
+    def test_corrupt_blob_is_dropped_as_miss(self, store):
+        fp = spec_fingerprint({"x": 3})
+        path = store.put(fp, {"v": 1})
+        path.write_text("{torn")
+        assert store.get(fp) is None
+        assert not path.exists()
+        assert store.registry.counters["service.store.corrupt"] == 1
+
+    def test_atomic_write_no_temp_leftovers(self, store):
+        fp = spec_fingerprint({"x": 4})
+        store.put(fp, {"v": 1})
+        shard = store.path_for(fp).parent
+        assert [p.name for p in shard.iterdir()] == [f"{fp}.json"]
+
+    def test_overwrite_idempotent(self, store):
+        fp = spec_fingerprint({"x": 5})
+        store.put(fp, {"v": 1})
+        store.put(fp, {"v": 1})
+        assert store.get(fp) == {"v": 1}
+        assert len(store) == 1
+
+    def test_clear(self, store):
+        store.put(spec_fingerprint({"x": 6}), {"v": 1})
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+class TestEnvironment:
+    def test_env_var_overrides_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "custom"))
+        assert default_store_root() == tmp_path / "custom"
+        store = ResultStore(registry=MetricsRegistry())
+        assert store.root == tmp_path / "custom"
+
+    def test_max_bytes_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "1234")
+        store = ResultStore(root=tmp_path, registry=MetricsRegistry())
+        assert store.max_bytes == 1234
+
+
+class TestLruEviction:
+    def test_cap_evicts_least_recently_used(self, tmp_path):
+        registry = MetricsRegistry()
+        # Each blob serializes to ~209 bytes; the cap fits two, not three.
+        store = ResultStore(root=tmp_path, max_bytes=450, registry=registry)
+        blob = {"pad": "x" * 200}
+        old = spec_fingerprint({"i": "old"})
+        hot = spec_fingerprint({"i": "hot"})
+        store.put(old, blob)
+        store.put(hot, blob)
+        # Make `old` stale and `hot` fresh via explicit mtimes (touch on
+        # get also bumps mtime, but clock granularity is not test-safe).
+        now = time.time()
+        os.utime(store.path_for(old), (now - 100, now - 100))
+        os.utime(store.path_for(hot), (now, now))
+        store.put(spec_fingerprint({"i": "new"}), blob)
+        assert not store.contains(old)
+        assert registry.counters["service.store.evict"] >= 1
+
+    def test_get_refreshes_recency(self, tmp_path):
+        store = ResultStore(root=tmp_path, max_bytes=10**9, registry=MetricsRegistry())
+        fp = spec_fingerprint({"i": "touched"})
+        store.put(fp, {"v": 1})
+        past = time.time() - 1000
+        os.utime(store.path_for(fp), (past, past))
+        store.get(fp)
+        assert store.path_for(fp).stat().st_mtime > past + 500
+
+    def test_under_cap_keeps_everything(self, tmp_path):
+        store = ResultStore(root=tmp_path, max_bytes=10**9, registry=MetricsRegistry())
+        for i in range(4):
+            store.put(spec_fingerprint({"i": i}), {"v": i})
+        assert len(store) == 4

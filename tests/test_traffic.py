@@ -11,7 +11,13 @@ from repro.traffic.synthetic import (
     UniformRandomTraffic,
     make_pattern,
 )
-from repro.traffic.trace import TraceTraffic
+from repro.traffic.trace import (
+    TRACE_FORMAT_VERSION,
+    TraceTraffic,
+    load_trace,
+    save_trace,
+)
+from repro.traffic.workloads import PARSEC_SPECS, build_workload_trace
 
 
 class TestUniformRandom:
@@ -131,6 +137,65 @@ class TestTrace:
         assert trace.exhausted(0)
         trace.reset()
         assert not trace.exhausted(0)
+
+
+class TestTracePersistence:
+    def _replay(self, trace):
+        """Full injection schedule: (cycle, spec) for every emitted packet."""
+        trace.reset()
+        schedule = []
+        last = trace.last_cycle()
+        for now in range(last + 1):
+            for spec in trace.packets_at(now):
+                schedule.append((now, spec))
+        assert trace.exhausted(last)
+        return schedule
+
+    def test_save_load_round_trip(self, tmp_path):
+        trace = TraceTraffic([(5, 0, 1, 0, 1), (2, 1, 2, 1, 5), (2, 2, 3, 0, 1)])
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.events == trace.events
+        assert all(isinstance(e, tuple) for e in loaded.events)
+        assert len(loaded) == len(trace)
+        assert loaded.total_flits() == trace.total_flits()
+
+    def test_replay_bit_identical(self, tmp_path):
+        """A reloaded workload trace injects the identical schedule —
+        same cycles, same src/dst/vnet/size — as the original."""
+        topo = mesh(4, 4)
+        trace = build_workload_trace(
+            PARSEC_SPECS["canneal"], topo, memory_controllers=[0, 3], duration=200, seed=9
+        )
+        path = tmp_path / "canneal.json"
+        trace.save(path)
+        loaded = TraceTraffic.load(path)
+        assert self._replay(loaded) == self._replay(trace)
+
+    def test_methods_mirror_functions(self, tmp_path):
+        trace = TraceTraffic([(0, 0, 1, 0, 2)])
+        path = tmp_path / "t.json"
+        trace.save(path)
+        assert load_trace(path).events == TraceTraffic.load(path).events
+
+    def test_atomic_write_no_temp_leftovers(self, tmp_path):
+        save_trace(TraceTraffic([(0, 0, 1, 0, 1)]), tmp_path / "t.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["t.json"]
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "events": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_malformed_event_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"version": %d, "events": [[1, 2, 3]]}' % TRACE_FORMAT_VERSION
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace(path)
 
 
 class TestComposite:
