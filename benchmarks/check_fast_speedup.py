@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Gate the fast engine's speedup over the reference engine.
+
+Reads a ``pytest-benchmark`` JSON containing both ``test_step_saturated``
+(reference engine) and ``test_step_saturated_fast`` (struct-of-arrays
+engine) from the *same run* — same machine, same load — and fails when
+``reference_mean / fast_mean`` drops below the threshold.  Comparing
+within one run sidesteps machine-to-machine baseline drift entirely; the
+ratio is what the fast engine exists to deliver.
+
+Usage::
+
+    python benchmarks/check_fast_speedup.py bench.json
+
+Threshold: ``FAST_SPEEDUP_MIN`` env var, default 2.0.  The original
+design target for the vectorized engine was 5x on this workload; the
+achieved speedup in pure Python is ~2.5-3x, because at saturation
+roughly half the per-cycle budget is protocol FSMs, traffic generation,
+and injection — shared code the vectorized allocator does not touch
+(see DESIGN.md, "Engine architecture").  The default gate pins the
+achieved level so regressions fail loudly; raise the env var as the
+engine improves rather than editing this file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+DEFAULT_MIN_SPEEDUP = 2.0
+
+#: (reference benchmark, fast-engine benchmark) pairs gated on ratio.
+GATED_PAIRS = [("test_step_saturated", "test_step_saturated_fast")]
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    doc = json.loads(open(argv[1]).read())
+    means = {r["name"]: r["stats"]["mean"] for r in doc.get("benchmarks", [])}
+    threshold = float(os.environ.get("FAST_SPEEDUP_MIN", DEFAULT_MIN_SPEEDUP))
+    failures = []
+    for ref_name, fast_name in GATED_PAIRS:
+        if ref_name not in means or fast_name not in means:
+            print(f"missing benchmark(s): need {ref_name} and {fast_name}")
+            failures.append((ref_name, 0.0))
+            continue
+        speedup = means[ref_name] / means[fast_name]
+        status = "ok" if speedup >= threshold else "FAIL"
+        print(
+            f"{ref_name}: reference {means[ref_name] * 1e3:.2f} ms, "
+            f"fast {means[fast_name] * 1e3:.2f} ms -> {speedup:.2f}x "
+            f"(min {threshold:g}x) {status}"
+        )
+        if speedup < threshold:
+            failures.append((ref_name, speedup))
+    if failures:
+        print(
+            f"fast-engine speedup below {threshold:g}x on "
+            f"{len(failures)} workload(s)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -4,12 +4,21 @@ Not a paper figure — these track the cost of the building blocks so that
 regressions in the inner loops (switch allocation, table construction,
 deadlock detection) are visible.  Unlike the figure benchmarks these use
 multiple rounds.
+
+The ``*_fast`` variants run the same workload on the struct-of-arrays
+engine (``engine="fast"``); their baseline entries are keyed by the
+suffixed name, so the original reference-engine baselines stay
+comparable across the engine split.
 """
 
 import random
 
 from repro.protocols import make_scheme
-from repro.routing.table import build_minimal_tables, build_updown_tables
+from repro.routing.table import (
+    build_minimal_tables,
+    build_updown_tables,
+    clear_table_cache,
+)
 from repro.sim.config import SimConfig
 from repro.sim.deadlock import find_wait_cycle
 from repro.sim.network import Network
@@ -18,11 +27,15 @@ from repro.topology.mesh import mesh
 from repro.traffic.synthetic import UniformRandomTraffic
 
 
-def _make_network(rate: float, scheme_name: str = "static-bubble"):
+def _make_network(
+    rate: float, scheme_name: str = "static-bubble", engine: str = "reference"
+):
     topo = inject_link_faults(mesh(8, 8), 8, random.Random(1))
     config = SimConfig()
     traffic = UniformRandomTraffic(topo, rate=rate, seed=1)
-    net = Network(topo, config, make_scheme(scheme_name), traffic, seed=1)
+    net = Network(
+        topo, config, make_scheme(scheme_name), traffic, seed=1, engine=engine
+    )
     net.run(200)  # warm: populate VCs
     return net
 
@@ -33,8 +46,20 @@ def test_step_low_load(benchmark):
     assert net.stats.packets_ejected > 0
 
 
+def test_step_low_load_fast(benchmark):
+    net = _make_network(rate=0.02, engine="fast")
+    benchmark.pedantic(lambda: net.run(100), rounds=5, iterations=1)
+    assert net.stats.packets_ejected > 0
+
+
 def test_step_saturated(benchmark):
     net = _make_network(rate=0.30)
+    benchmark.pedantic(lambda: net.run(100), rounds=5, iterations=1)
+    assert net.stats.packets_injected > 0
+
+
+def test_step_saturated_fast(benchmark):
+    net = _make_network(rate=0.30, engine="fast")
     benchmark.pedantic(lambda: net.run(100), rounds=5, iterations=1)
     assert net.stats.packets_injected > 0
 
@@ -45,6 +70,17 @@ def test_step_idle_network(benchmark):
     topo = mesh(8, 8)
     net = Network(topo, SimConfig(), make_scheme("static-bubble"), None, seed=1)
     net.run(50)  # drain the (empty) active set
+    benchmark.pedantic(lambda: net.run(1000), rounds=5, iterations=1)
+    assert net.stats.packets_injected == 0
+
+
+def test_step_idle_network_fast(benchmark):
+    topo = mesh(8, 8)
+    net = Network(
+        topo, SimConfig(), make_scheme("static-bubble"), None, seed=1,
+        engine="fast",
+    )
+    net.run(50)
     benchmark.pedantic(lambda: net.run(1000), rounds=5, iterations=1)
     assert net.stats.packets_injected == 0
 
@@ -66,18 +102,37 @@ def test_deadlock_monitor_precheck(benchmark):
 
 
 def test_build_minimal_tables_8x8(benchmark):
+    # Clear the memo each round so this keeps measuring construction
+    # (and stays comparable with pre-cache baselines), not cache hits.
     topo = inject_link_faults(mesh(8, 8), 8, random.Random(1))
+
+    def build_cold():
+        clear_table_cache()
+        return build_minimal_tables(topo)
+
+    tables = benchmark.pedantic(build_cold, rounds=3, iterations=1)
+    assert len(tables) == 64
+
+
+def test_build_minimal_tables_8x8_cached(benchmark):
+    # The warm path batched campaign workers take: same topology, memo hit.
+    topo = inject_link_faults(mesh(8, 8), 8, random.Random(1))
+    clear_table_cache()
+    build_minimal_tables(topo)  # prime
     tables = benchmark.pedantic(
-        lambda: build_minimal_tables(topo), rounds=3, iterations=1
+        lambda: build_minimal_tables(topo), rounds=5, iterations=1
     )
     assert len(tables) == 64
 
 
 def test_build_updown_tables_8x8(benchmark):
     topo = inject_link_faults(mesh(8, 8), 8, random.Random(1))
-    tables = benchmark.pedantic(
-        lambda: build_updown_tables(topo), rounds=3, iterations=1
-    )
+
+    def build_cold():
+        clear_table_cache()
+        return build_updown_tables(topo)
+
+    tables = benchmark.pedantic(build_cold, rounds=3, iterations=1)
     assert len(tables) == 64
 
 

@@ -103,7 +103,14 @@ def _simulate_spec_from_args(args: argparse.Namespace) -> "SimSpec":
         sb_t_dd=args.t_dd,
         seed=args.seed,
         monitor=getattr(args, "monitor", False),
+        engine=_resolve_engine_arg(args),
     )
+
+
+def _resolve_engine_arg(args: argparse.Namespace) -> str:
+    from repro.experiments.common import resolve_engine
+
+    return resolve_engine(getattr(args, "engine", None))
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -132,13 +139,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             return 1
         if not args.json:
             print()
-    network = Network(topo, config, scheme, traffic, seed=args.seed)
+    network = Network(
+        topo, config, scheme, traffic, seed=args.seed,
+        engine=_resolve_engine_arg(args),
+    )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     result = run_with_window(
         network,
         warmup=args.warmup,
         measure=args.cycles,
         monitor=DeadlockMonitor() if args.monitor else None,
     )
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        profile_stats = pstats.Stats(profiler, stream=sys.stderr)
+        profile_stats.sort_stats("cumulative").print_stats(25)
+        if args.profile_out:
+            profile_stats.dump_stats(args.profile_out)
+            print(f"profile written to {args.profile_out}", file=sys.stderr)
     stats = network.stats
     if args.json:
         import json
@@ -490,6 +515,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the result/stats payload as JSON (the same shape the "
         "service store persists)",
     )
+    p.add_argument(
+        "--engine",
+        choices=("reference", "fast"),
+        default=None,
+        help="simulation engine (default: REPRO_ENGINE or 'reference'; "
+        "results are bit-identical either way)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the measured run with cProfile and print the top 25 "
+        "functions by cumulative time to stderr",
+    )
+    p.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="with --profile: also dump the raw pstats data to PATH "
+        "(inspect with `python -m pstats PATH`)",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -609,6 +654,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vcs", type=int, default=4, help="VCs per vnet per port")
     p.add_argument("--t-dd", type=int, default=34, help="SB detection threshold")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--engine",
+        choices=("reference", "fast"),
+        default=None,
+        help="engine the server should run this spec on (excluded from "
+        "the spec's cache identity)",
+    )
     p.add_argument("--priority", type=int, default=0)
     p.add_argument(
         "--wait",

@@ -45,6 +45,14 @@ class FsmState(Enum):
     S_ENABLE = auto()
 
 
+#: States in which the counter runs (everything with a timeout).  Kept as a
+#: module-level frozenset so per-cycle drivers can test membership without
+#: a method call.
+COUNTING_STATES = frozenset(
+    (FsmState.S_DD, FsmState.S_DISABLE, FsmState.S_CHECK_PROBE, FsmState.S_ENABLE)
+)
+
+
 class FsmAction(Enum):
     """Action the router must take in response to an FSM event."""
 
@@ -114,16 +122,11 @@ class CounterFsm:
             self.threshold = threshold
 
     def counting(self) -> bool:
-        return self.state in (
-            FsmState.S_DD,
-            FsmState.S_DISABLE,
-            FsmState.S_CHECK_PROBE,
-            FsmState.S_ENABLE,
-        )
+        return self.state in COUNTING_STATES
 
     def tick(self) -> FsmAction:
         """Advance the counter one cycle; return the timeout action if any."""
-        if not self.counting():
+        if self.state not in COUNTING_STATES:
             return FsmAction.NONE
         self.count += 1
         if self.count < self.threshold:

@@ -19,9 +19,8 @@ capacity is dropped.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
 from enum import IntEnum
-from typing import Tuple
+from typing import NamedTuple, Tuple
 
 from repro.core.turns import PROBE_TURN_CAPACITY, Port, Turn
 
@@ -46,9 +45,8 @@ FORWARD_PRIORITY = {
 }
 
 
-@dataclass(frozen=True)
-class SpecialMessage:
-    """A special control message in flight.
+class SpecialMessage(NamedTuple):
+    """A special control message in flight (immutable).
 
     Attributes:
         mtype: message type (probe/disable/enable/check_probe).
@@ -66,6 +64,10 @@ class SpecialMessage:
             probes in other directions meanwhile.
     """
 
+    # A NamedTuple rather than a frozen dataclass: probe forks construct
+    # thousands of these per recovery, and tuple construction is far
+    # cheaper than frozen's ``object.__setattr__`` init path — while
+    # keeping immutability and field-wise equality/hash semantics.
     mtype: MsgType
     sender: int
     turns: Tuple[Turn, ...]
@@ -78,11 +80,15 @@ class SpecialMessage:
 
     def with_turn_appended(self, turn: Turn, new_travel: Port) -> "SpecialMessage":
         """Probe forwarding: append the turn taken at this router."""
-        return replace(self, turns=self.turns + (turn,), travel=new_travel)
+        return SpecialMessage(
+            self.mtype, self.sender, self.turns + (turn,), new_travel, self.origin_out
+        )
 
     def with_head_stripped(self, new_travel: Port) -> "SpecialMessage":
         """Disable/enable/check_probe forwarding: strip the consumed turn."""
-        return replace(self, turns=self.turns[1:], travel=new_travel)
+        return SpecialMessage(
+            self.mtype, self.sender, self.turns[1:], new_travel, self.origin_out
+        )
 
     def at_capacity(self) -> bool:
         """True if a probe has exhausted its turn-recording capacity."""

@@ -16,7 +16,7 @@ import os
 from statistics import mean
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.parallel import Job, run_jobs
+from repro.parallel import Job, run_jobs, run_jobs_batched
 from repro.protocols import make_scheme
 from repro.sim.config import SimConfig
 from repro.sim.deadlock import DeadlockMonitor
@@ -53,6 +53,24 @@ def topologies_for(
     )
 
 
+#: Environment variable selecting the simulation engine for sweeps that
+#: do not pass one explicitly (``reference`` | ``fast``).
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Explicit argument, else ``REPRO_ENGINE``, else ``"reference"``.
+
+    Both engines are bit-identical (enforced by
+    ``tests/test_fastcore_equivalence.py``), so the choice is purely a
+    throughput knob — which is why an environment variable may make it.
+    """
+    if engine is not None:
+        return engine
+    env = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+    return env if env else "reference"
+
+
 def run_synthetic(
     topo: Topology,
     scheme_name: str,
@@ -64,6 +82,7 @@ def run_synthetic(
     seed: int,
     monitor: bool = False,
     obs=None,
+    engine: Optional[str] = None,
 ) -> Tuple[WindowResult, Network]:
     """One warmup+measure simulation of a synthetic pattern.
 
@@ -71,6 +90,10 @@ def run_synthetic(
     when ``None`` but ``REPRO_OBS`` is set, the engine attaches a
     metrics-only observer bound to the per-process registry so sweep
     counters aggregate across pool workers with no tracing overhead.
+
+    ``engine``: simulation engine (``reference`` | ``fast``); ``None``
+    defers to :func:`resolve_engine` / ``REPRO_ENGINE``.  Results are
+    engine-independent.
     """
     traffic = make_pattern(
         pattern,
@@ -81,7 +104,14 @@ def run_synthetic(
         data_flits=config.data_packet_flits,
         ctrl_flits=config.ctrl_packet_flits,
     )
-    network = Network(topo, config, make_scheme(scheme_name), traffic, seed=seed)
+    network = Network(
+        topo,
+        config,
+        make_scheme(scheme_name),
+        traffic,
+        seed=seed,
+        engine=resolve_engine(engine),
+    )
     result = run_with_window(
         network,
         warmup,
@@ -111,6 +141,7 @@ def fan_out(
     progress: Optional[Callable[[int, int], None]] = None,
     cached: Optional[bool] = None,
     store=None,
+    batch_size: Optional[int] = None,
 ) -> List:
     """Run ``func(*args)`` for each args tuple, fanned over worker processes.
 
@@ -129,11 +160,21 @@ def fan_out(
     nine figure sweeps through this one entry point.  Results round-trip
     through :mod:`repro.utils.serialize`, so a cache hit is
     indistinguishable (tuples, dataclasses and all) from a fresh run.
+
+    ``batch_size`` routes the uncached sweep through
+    :func:`repro.parallel.run_jobs_batched` — many cells per worker
+    invocation, so per-process caches (warm routing tables) amortize
+    across the batch.  Results are identical either way; progress
+    callbacks just fire per batch instead of per cell.
     """
     if cached is None:
         cached = cache_enabled()
     if not cached:
         jobs = [Job(func, tuple(args)) for args in argslist]
+        if batch_size is not None:
+            return run_jobs_batched(
+                jobs, workers=workers, progress=progress, batch_size=batch_size
+            )
         return run_jobs(jobs, workers=workers, progress=progress)
     return _fan_out_cached(func, argslist, workers, progress, store)
 

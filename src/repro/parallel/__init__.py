@@ -8,6 +8,7 @@ from repro.parallel.pool import (
     job_seed,
     resolve_workers,
     run_jobs,
+    run_jobs_batched,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "job_seed",
     "resolve_workers",
     "run_jobs",
+    "run_jobs_batched",
 ]

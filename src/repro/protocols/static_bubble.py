@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from repro.core.fsm import CounterFsm, FsmAction, FsmState
+from repro.core.fsm import COUNTING_STATES, CounterFsm, FsmAction, FsmState
 from repro.core.messages import (
     MsgType,
     SpecialMessage,
@@ -46,7 +46,7 @@ from repro.core.messages import (
     make_probe,
 )
 from repro.core.placement import placement_node_ids
-from repro.core.turns import Port, apply_turn, turn_between
+from repro.core.turns import PROBE_TURN_CAPACITY, Port, apply_turn, turn_between
 from repro.obs.events import (
     BUBBLE_ACTIVATE,
     BUBBLE_DRAIN,
@@ -61,6 +61,22 @@ from repro.obs.events import (
     SPECIAL_DROP,
 )
 from repro.protocols.base import DeadlockScheme
+
+#: ``_PORTS[i] is Port(i)`` — avoids the enum-constructor call on hot paths.
+_PORTS = (Port.EAST, Port.NORTH, Port.WEST, Port.SOUTH, Port.LOCAL)
+
+#: ``_TURN[in_port][out_port]`` — ``turn_between`` precomputed; ``None``
+#: for u-turns and local ports (never looked up on the fork path, which
+#: filters those out first).
+_TURN = tuple(
+    tuple(
+        turn_between(_PORTS[i], _PORTS[o])
+        if i < 4 and o < 4 and o != i
+        else None
+        for o in range(5)
+    )
+    for i in range(5)
+)
 from repro.sim.config import SimConfig
 from repro.sim.router import VC_NORMAL
 
@@ -107,6 +123,11 @@ class StaticBubbleScheme(DeadlockScheme):
         #: bubble-at-every-router, random sparse placements, ...).
         self.placement_override = placement_override
         self.states: Dict[int, _SbRouterState] = {}
+        #: Over-approximating set of sealed (``is_deadlock``) router ids,
+        #: fed by the routers' seal hook; members whose seal is gone are
+        #: discarded lazily by ``_collect_stale_seals``.  Avoids scanning
+        #: every active router every cycle for the seal-GC watchdog.
+        self._sealed: set = set()
 
     # -- construction -----------------------------------------------------
 
@@ -117,6 +138,8 @@ class StaticBubbleScheme(DeadlockScheme):
             sb_nodes = set(self.placement_override)
         else:
             sb_nodes = placement_node_ids(config.width, config.height)
+        for router in network.routers.values():
+            router._seal_hook = self._sealed.add
         for node, router in network.routers.items():
             if node in sb_nodes:
                 router.add_static_bubble()
@@ -191,6 +214,8 @@ class StaticBubbleScheme(DeadlockScheme):
             else:
                 sb_nodes = placement_node_ids(config.width, config.height)
             provisioned = False
+            for node in added:
+                network.routers[node]._seal_hook = self._sealed.add
             for node in added:
                 if node not in sb_nodes:
                     continue
@@ -296,14 +321,66 @@ class StaticBubbleScheme(DeadlockScheme):
     # -- per-cycle FSM driving ---------------------------------------------
 
     def on_cycle(self, network: "Network", now: int) -> None:
+        # This loop runs for every SB router every cycle; the guards of
+        # `_relocate_bubble_resident` / `_update_watch` /
+        # `_sb_active_watchdog` / `CounterFsm.tick` are inlined here so the
+        # common case (nothing to do) costs a few attribute reads instead
+        # of four method calls per router.  Behaviour is identical.
+        routers = network.routers
+        s_off = FsmState.S_OFF
+        s_dd = FsmState.S_DD
+        s_active = FsmState.S_SB_ACTIVE
+        counting = COUNTING_STATES
+        none_action = FsmAction.NONE
         for node, state in self.states.items():
-            router = network.routers[node]
-            self._relocate_bubble_resident(network, router, now)
-            self._update_watch(router, state, now)
-            self._sb_active_watchdog(network, router, state, now)
-            action = state.fsm.tick()
-            if action != FsmAction.NONE:
-                self._dispatch(network, router, state, action, now)
+            router = routers[node]
+            fsm = state.fsm
+            bubble = router.bubble
+            if (
+                bubble is not None
+                and bubble.packet is not None
+                and now >= bubble.ready_at
+            ):
+                self._relocate_bubble_resident(network, router, now)
+            st = fsm.state
+            if st is s_off:
+                if router._occupancy:
+                    vcs = router.compass_vcs
+                    idx = self._next_occupied(vcs, state.watch_index)
+                    if idx is not None:
+                        state.watch_index = idx
+                        state.watched_pid = vcs[idx].packet.pid
+                        fsm.on_first_flit()
+                        st = fsm.state
+            elif st is s_dd:
+                vcs = router.compass_vcs
+                wi = state.watch_index
+                current = vcs[wi] if wi < len(vcs) else None
+                if (
+                    current is None
+                    or current.packet is None
+                    or current.packet.pid != state.watched_pid
+                ):
+                    idx = self._next_occupied(vcs, wi + 1)
+                    if idx is not None:
+                        state.watch_index = idx
+                        state.watched_pid = vcs[idx].packet.pid
+                        fsm.on_watched_vc_progress(True)
+                    else:
+                        state.watched_pid = None
+                        fsm.on_watched_vc_progress(False)
+                    st = fsm.state
+            elif st is s_active:
+                self._sb_active_watchdog(network, router, state, now)
+                st = fsm.state
+            if st in counting:
+                # ``fsm.tick()`` unrolled: the no-timeout path is by far
+                # the common case and runs every cycle for every armed FSM.
+                fsm.count += 1
+                if fsm.count >= fsm.threshold:
+                    action = fsm._on_timeout()
+                    if action is not none_action:
+                        self._dispatch(network, router, state, action, now)
         self._collect_stale_seals(network, now)
 
     def _collect_stale_seals(self, network: "Network", now: int) -> None:
@@ -315,9 +392,14 @@ class StaticBubbleScheme(DeadlockScheme):
         after ``sb_seal_timeout`` idle cycles; otherwise the locked output
         port would throttle unrelated traffic forever.
         """
+        if not self._sealed:
+            return
         timeout = network.config.sb_seal_timeout
-        for router in network.active_routers():
-            if not router.is_deadlock:
+        routers = network.routers
+        for node in sorted(self._sealed):
+            router = routers.get(node)
+            if router is None or not router.is_deadlock:
+                self._sealed.discard(node)
                 continue
             state = self.states.get(router.node)
             if state is not None and state.fsm.in_recovery():
@@ -383,16 +465,16 @@ class StaticBubbleScheme(DeadlockScheme):
                     self.on_bubble_drained(network, router, now)
                     return
 
-    def _compass_vcs(self, router: "Router") -> List:
-        vcs = []
-        for port in range(4):
-            vcs.extend(router.input_vcs[port])
-        return vcs
+    @staticmethod
+    def _compass_vcs(router: "Router") -> Tuple:
+        return router.compass_vcs
 
     def _update_watch(self, router: "Router", state: _SbRouterState, now: int) -> None:
         fsm = state.fsm
         if fsm.state == FsmState.S_OFF:
-            vcs = self._compass_vcs(router)
+            if router._occupancy == 0:
+                return  # no packets anywhere, so no compass VC is occupied
+            vcs = router.compass_vcs
             idx = self._next_occupied(vcs, state.watch_index)
             if idx is not None:
                 state.watch_index = idx
@@ -401,7 +483,7 @@ class StaticBubbleScheme(DeadlockScheme):
             return
         if fsm.state != FsmState.S_DD:
             return
-        vcs = self._compass_vcs(router)
+        vcs = router.compass_vcs
         current = vcs[state.watch_index] if state.watch_index < len(vcs) else None
         if (
             current is not None
@@ -598,25 +680,41 @@ class StaticBubbleScheme(DeadlockScheme):
         messages: Sequence[Tuple[int, SpecialMessage]],
         now: int,
     ) -> None:
+        if len(messages) == 1:
+            # Fast path for the overwhelmingly common case of a single
+            # arrival: no priority sort, no per-output arbitration dict.
+            in_port, msg = messages[0]
+            for out, fwd in self._handle_one(network, router, in_port, msg, now):
+                network.send_special(router.node, out, fwd)
+            return
         # Process in priority order (higher class, then higher sender id).
         ordered = sorted(
             messages, key=lambda im: (im[1].priority, im[1].sender), reverse=True
         )
         outgoing: Dict[int, List[SpecialMessage]] = {}
         for in_port, msg in ordered:
-            if msg.mtype == MsgType.PROBE:
-                forwards = self._handle_probe(network, router, in_port, msg, now)
-            elif msg.mtype == MsgType.DISABLE:
-                forwards = self._handle_disable(network, router, in_port, msg, now)
-            elif msg.mtype == MsgType.CHECK_PROBE:
-                forwards = self._handle_check_probe(network, router, in_port, msg, now)
-            else:
-                forwards = self._handle_enable(network, router, in_port, msg, now)
-            for out, fwd in forwards:
+            for out, fwd in self._handle_one(network, router, in_port, msg, now):
                 outgoing.setdefault(out, []).append(fwd)
         for out, candidates in outgoing.items():
             winner = self._arbitrate_output(router, candidates)
             network.send_special(router.node, out, winner)
+
+    def _handle_one(
+        self,
+        network: "Network",
+        router: "Router",
+        in_port: int,
+        msg: SpecialMessage,
+        now: int,
+    ) -> List[Tuple[int, SpecialMessage]]:
+        mtype = msg.mtype
+        if mtype == MsgType.PROBE:
+            return self._handle_probe(network, router, in_port, msg, now)
+        if mtype == MsgType.DISABLE:
+            return self._handle_disable(network, router, in_port, msg, now)
+        if mtype == MsgType.CHECK_PROBE:
+            return self._handle_check_probe(network, router, in_port, msg, now)
+        return self._handle_enable(network, router, in_port, msg, now)
 
     @staticmethod
     def _arbitrate_output(
@@ -674,32 +772,61 @@ class StaticBubbleScheme(DeadlockScheme):
         # Probe Fork Unit: forward only if every VC at the probed input
         # port is occupied; fork to the union of their requested outputs.
         vcs = router.cached_port_vcs(in_port)
-        if not vcs or any(vc.packet is None for vc in vcs):
-            self._emit(
-                network, SPECIAL_DROP, router.node,
-                mtype=msg.mtype.name, sender=msg.sender, reason="port_not_full",
-            )
+        full = bool(vcs)
+        for vc in vcs:
+            if vc.packet is None:
+                full = False
+                break
+        if not full:
+            if network.obs is not None:
+                self._emit(
+                    network, SPECIAL_DROP, router.node,
+                    mtype=msg.mtype.name, sender=msg.sender, reason="port_not_full",
+                )
             return []
-        if msg.at_capacity():
+        if len(msg.turns) >= PROBE_TURN_CAPACITY:
             self._emit(
                 network, SPECIAL_DROP, router.node,
                 mtype=msg.mtype.name, sender=msg.sender, reason="capacity",
             )
             return []
-        outs = set()
+        # Union of requested outputs as a bitmask: deterministic ascending
+        # fork order (a set of Port members iterates in *name-hash* order,
+        # which varies with PYTHONHASHSEED) and no enum hashing.
+        mask = 0
         for vc in vcs:
-            out = router._requested_output(vc.packet)
-            if out != Port.LOCAL and out != in_port:
-                outs.add(out)
-        if not self.fork_probes and len(outs) > 1:
+            packet = vc.packet
+            if packet.is_escape:
+                out = router._requested_output(packet)
+            else:
+                out = packet.route[packet.hop]
+            if out != 4 and out != in_port:  # Port.LOCAL / u-turn
+                mask |= 1 << out
+        if not self.fork_probes and mask & (mask - 1):
             # Ablation: no Probe Fork Unit — forward only when the probed
             # port's residents agree on one output (Section IV-B Q&A warns
             # this misses nested dependency cycles).
             return []
         forwards = []
-        for out in outs:
-            turn = turn_between(Port(in_port), Port(out))
-            forwards.append((out, msg.with_turn_appended(turn, Port(out))))
+        ports = _PORTS
+        row = _TURN[in_port]
+        mtype = msg.mtype
+        sender = msg.sender
+        turns = msg.turns
+        origin = msg.origin_out
+        out = 0
+        while mask:
+            if mask & 1:
+                forwards.append(
+                    (
+                        out,
+                        SpecialMessage(
+                            mtype, sender, turns + (row[out],), ports[out], origin
+                        ),
+                    )
+                )
+            mask >>= 1
+            out += 1
         return forwards
 
     def _handle_disable(

@@ -19,8 +19,11 @@ from repro.routing.spanning_tree import (
 )
 from repro.routing.table import (
     RoutingTable,
+    TABLE_CACHE_ENV_VAR,
     build_minimal_tables,
     build_updown_tables,
+    clear_table_cache,
+    table_cache_enabled,
 )
 
 __all__ = [
@@ -39,6 +42,9 @@ __all__ = [
     "tree_next_hop_tables",
     "updown_route",
     "RoutingTable",
+    "TABLE_CACHE_ENV_VAR",
     "build_minimal_tables",
     "build_updown_tables",
+    "clear_table_cache",
+    "table_cache_enabled",
 ]

@@ -16,7 +16,10 @@ Builders:
 
 from __future__ import annotations
 
+import json
+import os
 import random
+from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.routing.paths import Route, bfs_distances, minimal_routes
@@ -57,14 +60,69 @@ class RoutingTable:
         return options[rng.randrange(len(options))]
 
 
+#: Set ``REPRO_TABLE_CACHE=0`` to disable table memoization (debugging,
+#: or workloads that mutate tables in place — none in this tree do).
+TABLE_CACHE_ENV_VAR = "REPRO_TABLE_CACHE"
+
+#: Per-process memo: canonical topology spec -> built tables.  Batched
+#: campaign workers run many cells that differ only in rate/seed on the
+#: same sampled topology; table construction (hundreds of ms at 8x8) is
+#: a pure function of the topology, so one build serves the whole batch.
+#: Bounded LRU so a long-lived campaign worker cannot grow unboundedly.
+_TABLE_CACHE_MAX = 64
+_table_cache: "OrderedDict[tuple, Dict[int, RoutingTable]]" = OrderedDict()
+
+
+def table_cache_enabled() -> bool:
+    return os.environ.get(TABLE_CACHE_ENV_VAR, "").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+def clear_table_cache() -> None:
+    _table_cache.clear()
+
+
+def _cache_key(kind: str, topo: Topology, extra: object) -> tuple:
+    # ``to_spec`` records only sorted deviations from the healthy mesh,
+    # so equal post-fault states key identically regardless of the fault
+    # order that produced them.
+    return (kind, json.dumps(topo.to_spec(), sort_keys=True), extra)
+
+
+def _cache_get(key: tuple) -> Optional[Dict[int, RoutingTable]]:
+    tables = _table_cache.get(key)
+    if tables is not None:
+        _table_cache.move_to_end(key)
+        # Share the (read-only) RoutingTable objects but not the dict, so
+        # a caller reshaping its mapping cannot corrupt the cache.
+        return dict(tables)
+    return None
+
+
+def _cache_put(key: tuple, tables: Dict[int, RoutingTable]) -> None:
+    _table_cache[key] = dict(tables)
+    while len(_table_cache) > _TABLE_CACHE_MAX:
+        _table_cache.popitem(last=False)
+
+
 def build_minimal_tables(
     topo: Topology, max_paths: int = 4
 ) -> Dict[int, RoutingTable]:
     """Minimal-route tables for every active node.
 
     Per-destination BFS keeps this at ``O(nodes * edges)`` plus path
-    enumeration; adequate up to the 16x16 meshes used here.
+    enumeration; adequate up to the 16x16 meshes used here.  Results are
+    memoized per process on the canonical topology spec (tables are pure
+    functions of the topology and read-only after construction); disable
+    with ``REPRO_TABLE_CACHE=0``.
     """
+    caching = table_cache_enabled()
+    if caching:
+        key = _cache_key("minimal", topo, max_paths)
+        cached = _cache_get(key)
+        if cached is not None:
+            return cached
     tables = {node: RoutingTable(node) for node in topo.active_nodes()}
     for dst in topo.active_nodes():
         dist = bfs_distances(topo, dst)
@@ -73,13 +131,26 @@ def build_minimal_tables(
                 continue
             for route in minimal_routes(topo, src, dst, max_paths, dist):
                 tables[src].add_route(dst, route)
+    if caching:
+        _cache_put(key, tables)
     return tables
 
 
 def build_updown_tables(
     topo: Topology, trees: Optional[List[SpanningTree]] = None
 ) -> Dict[int, RoutingTable]:
-    """Up*/down* route tables (one route per destination) per active node."""
+    """Up*/down* route tables (one route per destination) per active node.
+
+    Memoized like :func:`build_minimal_tables`, but only for the default
+    tree derivation — caller-supplied ``trees`` bypass the cache (their
+    identity is not part of the topology spec).
+    """
+    caching = trees is None and table_cache_enabled()
+    if caching:
+        key = _cache_key("updown", topo, None)
+        cached = _cache_get(key)
+        if cached is not None:
+            return cached
     if trees is None:
         trees = build_spanning_trees(topo)
     tables = {node: RoutingTable(node) for node in topo.active_nodes()}
@@ -92,4 +163,6 @@ def build_updown_tables(
                 route = updown_route(topo, tree, src, dst)
                 if route is not None:
                     tables[src].add_route(dst, route)
+    if caching:
+        _cache_put(key, tables)
     return tables

@@ -19,8 +19,10 @@ raw pool lacks:
   are retried with exponential backoff before being marked FAILED.
 
 A scheduler thread drains the ready set in batches through
-``run_jobs`` — worker-process fan-out, ordering, and obs merging stay in
-one place (:mod:`repro.parallel.pool`).
+``run_jobs_batched`` — many cells per worker invocation, so per-process
+caches (warm routing tables) amortize across a batch; worker-process
+fan-out, ordering, and obs merging stay in one place
+(:mod:`repro.parallel.pool`).
 
 :func:`run_campaign` is the batch face of the same machinery: a sweep's
 specs become a *manifest* (atomic JSON sidecar); cells already in the
@@ -43,8 +45,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import MetricsRegistry
-from repro.parallel import Job, resolve_workers, run_jobs
-from repro.service.spec import run_sim_spec
+from repro.parallel import Job, resolve_workers, run_jobs_batched
+from repro.service.spec import run_sim_spec, spec_identity
 from repro.service.store import ResultStore, spec_fingerprint
 
 # Job lifecycle states.
@@ -141,10 +143,12 @@ class JobQueue:
         retries: int = 1,
         backoff: float = 0.25,
         registry: Optional[MetricsRegistry] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.runner = runner
         self.store = store if store is not None else ResultStore()
         self.workers = resolve_workers(workers)
+        self.batch_size = batch_size
         self.max_depth = max_depth
         self.timeout = timeout
         self.retries = retries
@@ -216,7 +220,7 @@ class JobQueue:
         a store hit or coalescing onto an in-flight record returns False.
         Raises :class:`QueueFull` past ``max_depth``.
         """
-        job_id = spec_fingerprint(spec)
+        job_id = spec_fingerprint(spec_identity(spec))
         with self._lock:
             record = self._records.get(job_id)
             if record is not None and record.state in (PENDING, RUNNING):
@@ -301,7 +305,9 @@ class JobQueue:
                 Job(_guarded_run, (self.runner, record.spec, self.timeout))
                 for record in batch
             ]
-            outcomes = run_jobs(jobs, workers=self.workers)
+            outcomes = run_jobs_batched(
+                jobs, workers=self.workers, batch_size=self.batch_size
+            )
             with self._lock:
                 for record, (status, value) in zip(batch, outcomes):
                     if status == "ok":
@@ -367,11 +373,17 @@ def run_campaign(
     manifest_path: Optional[os.PathLike] = None,
     name: str = "campaign",
     progress: Optional[Callable[[int, int], None]] = None,
+    batch_size: Optional[int] = None,
 ) -> CampaignReport:
     """Run a spec list through the store, executing only what's missing.
 
-    Identical specs within the list coalesce to one execution.  Results
-    are persisted wave-by-wave (a wave is ``2 x workers`` cells), and the
+    Identical specs within the list coalesce to one execution (specs
+    differing only in execution-only fields, e.g. ``engine``, coalesce
+    too).  ``batch_size`` packs that many cells into each worker
+    invocation (:func:`repro.parallel.run_jobs_batched`), amortizing
+    per-process caches such as routing tables across a batch.  Results
+    are persisted wave-by-wave (a wave is ``2 x workers x batch`` cells),
+    and the
     manifest — the full cell list plus which fingerprints are done — is
     rewritten atomically after every wave, so a killed campaign resumes
     with only its missing cells.
@@ -379,7 +391,7 @@ def run_campaign(
     store = store if store is not None else ResultStore()
     n_workers = resolve_workers(workers)
     specs = [dict(spec) for spec in specs]
-    fps = [spec_fingerprint(spec) for spec in specs]
+    fps = [spec_fingerprint(spec_identity(spec)) for spec in specs]
     results: List[Optional[Dict[str, Any]]] = [None] * len(specs)
 
     manifest: Dict[str, Any] = {
@@ -419,11 +431,13 @@ def run_campaign(
     executed = 0
     failed = 0
     order = list(missing.items())
-    wave_size = max(1, n_workers * 2)
+    wave_size = max(1, n_workers * 2 * (batch_size or 1))
     for start in range(0, len(order), wave_size):
         wave = order[start : start + wave_size]
         jobs = [Job(_guarded_run, (runner, specs[idxs[0]], None)) for _, idxs in wave]
-        outcomes = run_jobs(jobs, workers=n_workers)
+        outcomes = run_jobs_batched(
+            jobs, workers=n_workers, batch_size=batch_size
+        )
         for (fp, idxs), (status, value) in zip(wave, outcomes):
             if status == "ok":
                 store.put(fp, value)

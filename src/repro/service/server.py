@@ -30,7 +30,7 @@ from typing import Any, Dict, Optional, Tuple
 import repro
 from repro.obs.metrics import MetricsRegistry, text_exposition
 from repro.service.queue import DONE, JobQueue, QueueFull
-from repro.service.spec import SimSpec, run_sim_spec
+from repro.service.spec import SimSpec, run_sim_spec, spec_identity
 from repro.service.store import ResultStore, spec_fingerprint
 
 #: Default bind address of ``repro serve``.
@@ -252,5 +252,9 @@ class ServiceServer:
 
 
 def fingerprint_for(spec: SimSpec) -> str:
-    """Fingerprint a spec exactly as ``POST /jobs`` would."""
-    return spec_fingerprint(spec.to_dict())
+    """Fingerprint a spec exactly as ``POST /jobs`` would.
+
+    Execution-only fields (``engine``) are excluded, so submissions that
+    differ only in engine address the same stored result.
+    """
+    return spec_fingerprint(spec_identity(spec.to_dict()))

@@ -53,11 +53,19 @@ class SimSpec:
     sb_t_dd: int = 34
     seed: int = 1
     monitor: bool = False
+    #: Execution engine (``reference`` | ``fast``).  Engines are
+    #: bit-identical, so this is *not* part of the spec's result
+    #: identity — see :func:`spec_identity`.
+    engine: str = "reference"
 
     def validate(self) -> None:
         if self.scheme not in SCHEMES:
             raise ValueError(
                 f"unknown scheme {self.scheme!r}; have {sorted(SCHEMES)}"
+            )
+        if self.engine not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; have ('reference', 'fast')"
             )
         if self.width < 1 or self.height < 1:
             raise ValueError("mesh dimensions must be positive")
@@ -106,6 +114,28 @@ class SimSpec:
         )
 
 
+#: Spec fields that select *how* a result is computed, not *what* it is.
+#: Excluded from content-address identity: both engines are bit-identical
+#: (enforced by ``tests/test_fastcore_equivalence.py``), so a fast-engine
+#: submission must hit the cache entry a reference-engine run produced.
+EXECUTION_ONLY_FIELDS = ("engine",)
+
+
+def spec_identity(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """The fingerprint-bearing view of a spec dict.
+
+    Strips execution-only knobs so specs differing only in engine
+    coalesce onto one stored result.  Non-``SimSpec`` spec shapes pass
+    through unchanged (minus any identically-named execution field).
+    """
+    if not any(field in spec_dict for field in EXECUTION_ONLY_FIELDS):
+        return spec_dict
+    trimmed = dict(spec_dict)
+    for field in EXECUTION_ONLY_FIELDS:
+        trimmed.pop(field, None)
+    return trimmed
+
+
 def sim_result_payload(
     spec: SimSpec, result: WindowResult, network: Network
 ) -> Dict[str, Any]:
@@ -133,7 +163,12 @@ def run_sim_spec(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
         spec.pattern, topo, spec.rate, seed=spec.seed, **traffic_kwargs
     )
     network = Network(
-        topo, spec.build_config(), make_scheme(spec.scheme), traffic, seed=spec.seed
+        topo,
+        spec.build_config(),
+        make_scheme(spec.scheme),
+        traffic,
+        seed=spec.seed,
+        engine=spec.engine,
     )
     result = run_with_window(
         network,

@@ -1,0 +1,861 @@
+"""Struct-of-arrays fast engine (``Network(..., engine="fast")``).
+
+The reference engine in :mod:`repro.sim.network` walks every occupied
+router and every VC as Python objects each cycle.  At saturation most of
+that walk rejects candidates: the VC is empty, its packet is not yet
+switchable, the output link is busy, or the downstream port has no free
+buffer.  :class:`FastNetwork` keeps the object model as the source of
+truth but mirrors the *rejection tests* into flat preallocated numpy
+arrays — a packet/VC side table indexed by slot — so each cycle opens
+with a handful of masked array ops over all slots at once:
+
+``ready[slot]``
+    ``vc.ready_at`` while occupied, else a ``BIG`` sentinel (so plain
+    ``<= now`` folds "is there a switchable packet" into one compare).
+``outc[slot] -> lbusy[cell]``
+    Gather index into per-output-link "free from" times.  A special
+    message claiming the link for cycle ``c`` is folded in as
+    ``max(busy_until, c + 1)`` — one array answers both rejection tests.
+``downc[slot] -> comb[cell]``
+    Gather index into per-(router, port, kind, vnet) class availability:
+    the min ``free_at`` over the class's empty VCs, pre-merged with the
+    attached static bubble's availability for normal classes.  One
+    compare answers "does the downstream port have a usable buffer".
+
+The surviving mask is an *over-approximation* of the grantable set:
+during the reference engine's ascending-node allocation sweep,
+availability only shrinks (grants fill downstream buffers, specials
+claim links, bubbles deactivate — nothing mid-sweep creates new
+candidates; ``CounterFsm.on_bubble_reclaimed`` never activates a
+bubble).  So a cycle-start filter never *misses* a grantable VC, and the
+scalar grant stage — a verbatim restriction of
+``Network._allocate_router`` to the surviving ports, re-checking every
+condition against the live objects — produces bit-identical grants,
+round-robin pointer movement, and stats.  IO-priority restrictions
+(Static Bubble seals) are deliberately *not* vectorized: they are
+re-checked live only, so seal churn needs no mirror maintenance.
+
+Mid-cycle bookkeeping never touches numpy: every mutable plane has a
+plain-list shadow updated in place (transfers, injections, resyncs), and
+dirtied indices are pushed into the real arrays in one fancy-indexed
+batch right before the next filter (``_apply_pending``) — the filter is
+the only reader of the arrays, so one batch per cycle is exact.
+
+Scheme hooks need no changes: membership mutations funnel through
+``Router.invalidate_vc_cache`` which fires ``Router._dirty_hook`` — the
+narrow adapter — and dirtied routers are resynced at the next cycle
+start.  In-place packet mutations (the escape-VC scheme flipping
+``packet.is_escape`` on buffered packets) fire the same hook directly,
+so only the affected routers resync.
+
+Fallbacks: a tracing observer (``Observer(trace=True)``), or
+``full_scan``, permanently route ``step()`` through the reference path
+(the mirror is rebuilt if the fast path resumes).  ``apply_faults`` /
+``restore`` rebuild the mirror wholesale.  Set ``REPRO_FAST_PARANOID=1``
+to resync every router every cycle (slow; for debugging mirror drift).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.messages import SpecialMessage
+from repro.core.turns import OPPOSITE_PORT, Port
+from repro.obs.events import PACKET_TRANSFER
+from repro.sim.network import Network
+from repro.sim.packet import Packet
+from repro.sim.router import Router, VC_BUBBLE, VC_ESCAPE, VC_NORMAL, VirtualChannel
+
+#: Time sentinel: larger than any reachable cycle count, small enough to
+#: survive int64 arithmetic headroom.
+BIG = 1 << 60
+
+#: ``_PORT_NAMES[i] == Port(i).name`` without the enum-constructor call.
+_PORT_NAMES = tuple(Port(i).name for i in range(5))
+
+#: ``OPPOSITE_PORT`` as plain ints: hashing a ``Port`` member inside a
+#: dict-key tuple goes through ``enum.__hash__`` (a Python-level call);
+#: the mirror's ``avail_index`` keys were built with plain ints, so
+#: looking them up with plain ints keeps the whole hash in C.
+_OPP = tuple(int(p) for p in OPPOSITE_PORT)
+
+
+class FastNetwork(Network):
+    """Struct-of-arrays engine; constructed via ``Network(..., engine="fast")``."""
+
+    # -- construction -------------------------------------------------------
+
+    def _engine_setup(self) -> None:
+        self.engine = "fast"
+        #: Permanent fallback to the reference step (tracing observer).
+        self._force_reference = False
+        #: The mirror no longer matches the objects (delegated steps,
+        #: escape flips); triggers a full resync at the next fast step.
+        self._mirror_stale = False
+        self._paranoid = os.environ.get("REPRO_FAST_PARANOID", "") not in ("", "0")
+        #: Node ids whose router mutated VC membership since the last sync.
+        self._dirty: set = set()
+        self._build_mirror()
+
+    def _build_mirror(self) -> None:
+        """(Re)build the slot layout, shadows, and value arrays."""
+        routers = self.routers
+        rlist = [routers[node] for node in sorted(routers)]
+        self._mrouters: List[Router] = rlist
+        self._rpos: Dict[int, int] = {r.node: i for i, r in enumerate(rlist)}
+        R = len(rlist)
+
+        slot_vcs: List[VirtualChannel] = []
+        slot_rpos: List[int] = []
+        slot_port: List[int] = []
+        rslots: List[Tuple[int, int]] = []
+        ravail: List[Tuple[int, int]] = []
+        rlocal: List[Tuple[int, int]] = []
+        avail_index: Dict[Tuple[int, int, int, int], int] = {}
+        avail_members: List[List[int]] = []
+        avail_kind: List[int] = []
+        avail_port: List[int] = []
+        avail_rpos: List[int] = []
+        avail_of_slot: List[int] = []
+
+        pstart: List[int] = []
+        bslot: List[int] = []
+
+        for rpos, router in enumerate(rlist):
+            slot_lo = len(slot_vcs)
+            alo = len(avail_members)
+            local_lo = local_hi = 0
+            for port in range(5):
+                pstart.append(len(slot_vcs))
+                if port == 4:
+                    local_lo = len(slot_vcs)
+                for vc in router.input_vcs[port]:
+                    key = (rpos, port, vc.kind, vc.vnet)
+                    c = avail_index.get(key)
+                    if c is None:
+                        c = len(avail_members)
+                        avail_index[key] = c
+                        avail_members.append([])
+                        avail_kind.append(vc.kind)
+                        avail_port.append(port)
+                        avail_rpos.append(rpos)
+                    avail_members[c].append(len(slot_vcs))
+                    avail_of_slot.append(c)
+                    slot_vcs.append(vc)
+                    slot_rpos.append(rpos)
+                    slot_port.append(port)
+                if port == 4:
+                    local_hi = len(slot_vcs)
+            if router.bubble is not None:
+                # The bubble gets its own slot with port -1: its attachment
+                # port is resolved live at grant time.
+                avail_of_slot.append(-1)
+                bslot.append(len(slot_vcs))
+                slot_vcs.append(router.bubble)
+                slot_rpos.append(rpos)
+                slot_port.append(-1)
+            else:
+                bslot.append(-1)
+            rslots.append((slot_lo, len(slot_vcs)))
+            ravail.append((alo, len(avail_members)))
+            rlocal.append((local_lo, local_hi))
+
+        S = len(slot_vcs)
+        C = len(avail_members)
+        L = R * 5  # sentinel link/bubble cell (always unavailable)
+        self._S = S
+        self._slot_vcs = slot_vcs
+        self._slot_rpos = slot_rpos
+        self._slot_port = slot_port
+        self._avail_members = [tuple(m) for m in avail_members]
+        self._avail_of_slot = avail_of_slot
+        self._avail_index = avail_index
+        self._rslots = rslots
+        self._ravail = ravail
+        self._rlocal = rlocal
+        #: Slot of ``input_vcs[port][0]`` per (rpos, port); with a VC's
+        #: stable ``index`` this recovers its slot without a dict lookup.
+        self._pstart = pstart
+        #: The bubble's slot per router (-1 when it has none).
+        self._bslot = bslot
+        self._sent_link = L
+        self._sent_true = C  # always-available comb cell (LOCAL ejection)
+        self._sent_false = C + 1
+
+        # Which bubble-availability cell folds into each class cell (the
+        # class's own (router, port) for normal classes; escape packets
+        # never use the bubble).  Inverse map for bubble-side updates.
+        self._comb_bub: List[int] = [
+            avail_rpos[c] * 5 + avail_port[c] if avail_kind[c] == VC_NORMAL else -1
+            for c in range(C)
+        ]
+        bub_combs: List[List[int]] = [[] for _ in range(L)]
+        for c, b in enumerate(self._comb_bub):
+            if b >= 0:
+                bub_combs[b].append(c)
+        self._bub_combs = [tuple(cs) for cs in bub_combs]
+
+        # Shadows (plain lists; the numpy arrays below mirror them).
+        self._ready_py: List[int] = [BIG] * S
+        self._outc_py: List[int] = [L] * S
+        self._downc_py: List[int] = [C + 1] * S
+        self._free_py: List[int] = [0] * S
+        self._lbusy_py: List[int] = [0] * L + [BIG]
+        self._avail_py: List[int] = [0] * C
+        self._bubav_py: List[int] = [BIG] * (L + 1)
+        self._comb_py: List[int] = [0] * C + [0, BIG]
+
+        self._ready = np.full(S, BIG, dtype=np.int64)
+        self._outc = np.full(S, L, dtype=np.intp)
+        self._downc = np.full(S, C + 1, dtype=np.intp)
+        self._lbusy = np.zeros(L + 1, dtype=np.int64)
+        self._lbusy[L] = BIG
+        self._comb = np.zeros(C + 2, dtype=np.int64)
+        self._comb[C + 1] = BIG
+        self._t1 = np.empty(S, dtype=np.int64)
+        self._t2 = np.empty(S, dtype=np.int64)
+        self._b0 = np.empty(S, dtype=bool)
+
+        # Indices whose shadow changed since the last batch apply (plain
+        # lists, duplicates allowed: the apply reads values from the
+        # shadows, so writing an index twice is harmless and appending is
+        # cheaper than set insertion on the hot path).
+        self._tslots: List[int] = []
+        self._tlinks: List[int] = []
+        self._tcomb: List[int] = []
+
+        for router in rlist:
+            router._dirty_hook = self._dirty.add
+
+        # Injection prefilter: with one vnet every queued packet wants the
+        # (LOCAL, normal, vnet 0) class, so the class cell decides "is a
+        # VC free" exactly and `try_inject` is only entered when it can
+        # succeed (its failure path is side-effect- and RNG-free).
+        if self.config.vnets == 1:
+            cells = []
+            for ni in self._ni_list:
+                rp = self._rpos.get(ni.node)
+                cells.append(
+                    avail_index.get((rp, 4, VC_NORMAL, 0), C + 1)
+                    if rp is not None
+                    else C + 1
+                )
+            self._inj_cells: Optional[List[int]] = cells
+        else:
+            self._inj_cells = None
+
+        for rpos in range(R):
+            self._resync_router(rpos)
+        self._dirty.clear()
+        self._apply_pending()
+
+    # -- mirror synchronization ---------------------------------------------
+
+    def _apply_pending(self) -> None:
+        """Push shadow changes into the numpy planes (one batch per cycle)."""
+        idx = self._tslots
+        if idx:
+            ready = self._ready_py
+            outc = self._outc_py
+            downc = self._downc_py
+            self._ready[idx] = [ready[i] for i in idx]
+            self._outc[idx] = [outc[i] for i in idx]
+            self._downc[idx] = [downc[i] for i in idx]
+            self._tslots = []
+        idx = self._tlinks
+        if idx:
+            lbusy = self._lbusy_py
+            self._lbusy[idx] = [lbusy[i] for i in idx]
+            self._tlinks = []
+        idx = self._tcomb
+        if idx:
+            comb = self._comb_py
+            self._comb[idx] = [comb[i] for i in idx]
+            self._tcomb = []
+
+    def _sync_slot(self, i: int) -> None:
+        """Refresh one slot's shadow values from its live VC."""
+        vc = self._slot_vcs[i]
+        packet = vc.packet
+        self._tslots.append(i)
+        if packet is None:
+            self._ready_py[i] = BIG
+            self._free_py[i] = vc.free_at
+            self._outc_py[i] = self._sent_link
+            self._downc_py[i] = self._sent_false
+            return
+        self._ready_py[i] = vc.ready_at
+        self._free_py[i] = BIG
+        rpos = self._slot_rpos[i]
+        router = self._mrouters[rpos]
+        out = router._requested_output(packet)
+        link = router.output_links[out]
+        if link is None:
+            # Dead link (transient mid-reconfig state): never a candidate.
+            self._outc_py[i] = self._sent_link
+            self._downc_py[i] = self._sent_false
+            return
+        self._outc_py[i] = rpos * 5 + out
+        if out == 4:
+            self._downc_py[i] = self._sent_true
+            return
+        kind = VC_ESCAPE if packet.is_escape else VC_NORMAL
+        self._downc_py[i] = self._avail_index.get(
+            (self._rpos[link.dest_node], _OPP[out], kind, packet.vnet),
+            self._sent_false,
+        )
+
+    def _set_avail(self, c: int) -> None:
+        """Recompute one class cell's availability (and its comb merge)."""
+        free = self._free_py
+        best = BIG
+        for s in self._avail_members[c]:
+            v = free[s]
+            if v < best:
+                best = v
+        self._avail_py[c] = best
+        b = self._comb_bub[c]
+        if b >= 0:
+            bv = self._bubav_py[b]
+            if bv < best:
+                best = bv
+        self._comb_py[c] = best
+        self._tcomb.append(c)
+
+    def _set_bubav(self, b: int, value: int) -> None:
+        self._bubav_py[b] = value
+        avail = self._avail_py
+        comb = self._comb_py
+        touched = self._tcomb
+        for c in self._bub_combs[b]:
+            comb[c] = value if value < avail[c] else avail[c]
+            touched.append(c)
+
+    def _resync_router(self, rpos: int) -> None:
+        """Refresh every mirrored value owned by one router."""
+        lo, hi = self._rslots[rpos]
+        for i in range(lo, hi):
+            self._sync_slot(i)
+        router = self._mrouters[rpos]
+        now = self.cycle
+        base = rpos * 5
+        lbusy = self._lbusy_py
+        tlinks = self._tlinks
+        for port in range(5):
+            cell = base + port
+            link = router.output_links[port]
+            if link is None:
+                lbusy[cell] = BIG
+            else:
+                # Fold a live special-message claim (for this cycle or a
+                # later one) into the busy time; past claims are inert.
+                busy = link.busy_until
+                sblock = link.special_blocked_at
+                if sblock >= now and sblock + 1 > busy:
+                    busy = sblock + 1
+                lbusy[cell] = busy
+            tlinks.append(cell)
+        bubble = router.bubble
+        bub_port = -1
+        if (
+            bubble is not None
+            and router.bubble_active
+            and bubble.packet is None
+            and 0 <= bubble.port <= 4
+        ):
+            bub_port = bubble.port
+        for port in range(5):
+            self._bubav_py[base + port] = (
+                bubble.free_at if port == bub_port else BIG
+            )
+        alo, ahi = self._ravail[rpos]
+        for c in range(alo, ahi):
+            self._set_avail(c)
+
+    def _resync_all(self) -> None:
+        for rpos in range(len(self._mrouters)):
+            self._resync_router(rpos)
+
+    def _flush_dirty(self) -> None:
+        if self._paranoid or self._mirror_stale:
+            self._resync_all()
+            self._mirror_stale = False
+        elif self._dirty:
+            rpos_of = self._rpos
+            for node in self._dirty:
+                rpos = rpos_of.get(node)
+                if rpos is not None:
+                    self._resync_router(rpos)
+        self._dirty.clear()
+
+    # -- per-cycle machinery -------------------------------------------------
+
+    def step(self) -> None:
+        if self._force_reference or self.full_scan:
+            # Reference path shares all state with this engine, so results
+            # stay bit-identical; the mirror is rebuilt on resumption.
+            super().step()
+            self._mirror_stale = True
+            return
+        now = self.cycle
+        self._deliver_specials(now)
+        if self._dirty or self._mirror_stale or self._paranoid:
+            self._flush_dirty()
+        if self._tslots or self._tlinks or self._tcomb:
+            self._apply_pending()
+        self._inject_traffic(now)
+        self._fast_inject(now)
+        if self._active_nodes:
+            self._fast_alloc(now)
+        self._post_alloc = True
+        self.scheme.on_cycle(self, now)
+        self._post_alloc = False
+        # In-place packet mutations (escape diversions) fire the router's
+        # ``_dirty_hook``, queuing a targeted resync for the next cycle.
+        obs = self.obs
+        if obs is not None:
+            obs.end_cycle(self, now)
+        self.stats.cycles += 1
+        self.cycle += 1
+
+    def _fast_inject(self, now: int) -> None:
+        nis = self._ni_list
+        if not nis:
+            return
+        cells = self._inj_cells
+        if cells is None:
+            # Multi-vnet: no exact single-cell test; fall back to per-NI
+            # attempts, resyncing only after an actual injection (the
+            # failure path of ``try_inject`` mutates nothing).
+            for ni in nis:
+                if ni.queue and ni.try_inject(now):
+                    self._after_injection(ni)
+            return
+        comb = self._comb_py
+        for k, ni in enumerate(nis):
+            queue = ni.queue
+            if not queue:
+                continue
+            # Heads on a nonzero vnet (defensive; vnets == 1 here) bypass
+            # the prefilter rather than trust the vnet-0 cell.
+            if comb[cells[k]] <= now or queue[0].vnet:
+                if ni.try_inject(now):
+                    self._after_injection(ni)
+
+    def _after_injection(self, ni) -> None:
+        # Exactly one VC gained a packet; its shadow still shows the
+        # empty-slot sentinel, so a scan of the local span finds it and
+        # only that slot (plus its class cell) needs a resync.
+        rpos = self._rpos[ni.node]
+        lo, hi = self._rlocal[rpos]
+        ready = self._ready_py
+        slot_vcs = self._slot_vcs
+        for i in range(lo, hi):
+            if ready[i] == BIG and slot_vcs[i].packet is not None:
+                self._sync_slot(i)
+                c = self._avail_of_slot[i]
+                if c >= 0:
+                    self._set_avail(c)
+                return
+        # The claimed VC sits outside the local span (an attached bubble,
+        # possible only if one is ever parked on the local port): fall back
+        # to a full-router resync.
+        self._resync_router(rpos)
+
+    def _fast_alloc(self, now: int) -> None:
+        """Filter + switch allocation + transfer, fused into one frame.
+
+        Stage 1 (vector): ``max(ready, lbusy[outc], comb[downc]) <= now``
+        over every slot at once; the survivors are an exact superset of
+        the grantable VCs (see the module docstring).
+
+        Stage 2 (scalar): a verbatim restriction of
+        ``Network._allocate_router`` + ``Network._transfer`` to the
+        surviving slots, grouped per router in ascending node order.  The
+        live objects are still consulted for every grant condition the
+        mirror cannot answer exactly mid-sweep (seals, mid-sweep link
+        claims, bubble deactivation).  Everything is inlined into this
+        one frame so the per-grant cost is list indexing and attribute
+        writes, not method dispatch; the sweep-wide flit counters are
+        accumulated in locals and flushed to ``stats`` once at the end
+        (nothing reads them mid-sweep: ``NetworkInterface.eject`` and the
+        scheme hooks touch disjoint fields).
+
+        Grant semantics proven equal to the reference:
+
+        * requests are latched per port in round-robin order before any
+          grant of the same router executes, and rejected scans have no
+          side effects — identical pointer movement;
+        * output arbitration per ``out`` only reads ``_out_rr[out]`` and
+          the latched requests, so selecting every winner before running
+          the transfers cannot change any outcome (a transfer never
+          touches another output's rr pointer or its contender list);
+        * transfers execute in the same ``by_out`` insertion order as the
+          reference's interleaved loop.
+        """
+        if not self._S:
+            return
+        t1 = self._t1
+        t2 = self._t2
+        b0 = self._b0
+        np.take(self._lbusy, self._outc, out=t1)
+        np.maximum(t1, self._ready, out=t1)
+        np.take(self._comb, self._downc, out=t2)
+        np.maximum(t1, t2, out=t1)
+        np.less_equal(t1, now, out=b0)
+        hits = np.nonzero(b0)[0]
+        if not hits.size:
+            return
+        hits = hits.tolist()
+
+        # Sweep-wide locals (bound once per cycle, not per router/grant).
+        slot_rpos = self._slot_rpos
+        slot_port = self._slot_port
+        slot_vcs = self._slot_vcs
+        rlist = self._mrouters
+        routers = self.routers
+        rpos_map = self._rpos
+        nis = self.nis
+        scheme = self.scheme
+        obs = self.obs
+        dirty = self._dirty
+        pstart = self._pstart
+        bslot = self._bslot
+        avail_of_slot = self._avail_of_slot
+        avail_members = self._avail_members
+        avail_index_get = self._avail_index.get
+        comb_bub = self._comb_bub
+        sent_link = self._sent_link
+        sent_true = self._sent_true
+        sent_false = self._sent_false
+        tslots = self._tslots
+        tlinks = self._tlinks
+        tcomb = self._tcomb
+        ready = self._ready_py
+        free = self._free_py
+        outc = self._outc_py
+        downc = self._downc_py
+        lbusy = self._lbusy_py
+        avail_py = self._avail_py
+        bubav = self._bubav_py
+        comb = self._comb_py
+        now2 = now + 2
+        b_reads = b_xbar = b_linkc = b_writes = 0
+
+        idx = 0
+        nhits = len(hits)
+        while idx < nhits:
+            s = hits[idx]
+            rpos = slot_rpos[s]
+            slots = [s]
+            idx += 1
+            while idx < nhits and slot_rpos[hits[idx]] == rpos:
+                slots.append(hits[idx])
+                idx += 1
+            router = rlist[rpos]
+            pbase = rpos * 5
+
+            # -- partition this router's candidates by input port --------
+            by_port: Dict[int, List[int]] = {}
+            saw_bubble = False
+            for s in slots:
+                p = slot_port[s]
+                if p < 0:
+                    # The bubble competes under its live attachment port,
+                    # as the last entry of that port's VC tuple.
+                    bubble = router.bubble
+                    if bubble is None:
+                        continue
+                    p = bubble.port
+                    if not 0 <= p <= 4:
+                        continue
+                    k = -1  # resolved to len(vcs) - 1 below
+                    saw_bubble = True
+                else:
+                    k = s - pstart[pbase + p]
+                ks = by_port.get(p)
+                if ks is None:
+                    by_port[p] = [k]
+                else:
+                    ks.append(k)
+            nports = len(by_port)
+            if nports == 0:
+                continue
+
+            # -- request latch: first grantable VC per port, rr order ----
+            vc_cache = router._vc_cache
+            in_rr = router._in_rr
+            output_links = router.output_links
+            restricted = router.is_deadlock
+            requests = None
+            # Slots ascend within a router, so insertion order is already
+            # port-ascending unless a bubble candidate (whose port is
+            # resolved live) landed out of sequence.
+            for port, ks in (
+                sorted(by_port.items())
+                if saw_bubble and nports > 1
+                else by_port.items()
+            ):
+                vcs = vc_cache[port]
+                if vcs is None:
+                    vcs = router.cached_port_vcs(port)
+                n = len(vcs)
+                if n == 0:
+                    continue
+                start = in_rr[port] % n
+                if len(ks) > 1:
+                    ks = sorted(
+                        ((k if k >= 0 else n - 1) for k in ks),
+                        key=lambda k: (k - start) % n,
+                    )
+                elif ks[0] < 0:
+                    ks = (n - 1,)
+                for k in ks:
+                    vc = vcs[k]
+                    packet = vc.packet
+                    if packet is None or now < vc.ready_at:
+                        continue
+                    if packet.is_escape:
+                        out = router._requested_output(packet)
+                    else:
+                        out = packet.route[packet.hop]
+                    link = output_links[out]
+                    if (
+                        link is None
+                        or now < link.busy_until
+                        or link.special_blocked_at == now
+                    ):
+                        continue
+                    if restricted and not router.injection_allowed(port, out):
+                        continue
+                    if out == 4:  # Port.LOCAL
+                        target = None
+                    else:
+                        # Downstream re-check off the shadow mirror: the
+                        # comb cells are maintained synchronously and
+                        # availability only shrinks mid-sweep, so a failing
+                        # compare proves ``free_vc_for`` would return None.
+                        i = pstart[pbase + port] + k if vc.index >= 0 else bslot[rpos]
+                        c = downc[i]
+                        if comb[c] > now:
+                            continue
+                        if dirty:
+                            # A VC-membership mutation (e.g. a bubble
+                            # deactivating mid-sweep) queued a lazy resync:
+                            # the shadow may be stale-available, so defer
+                            # to the live object scan.
+                            target = routers[link.dest_node].free_vc_for(
+                                OPPOSITE_PORT[out], packet, now
+                            )
+                            if target is None:
+                                continue
+                        else:
+                            # Shadows are exact: pick the same VC the live
+                            # scan would — first free class member in VC
+                            # order, else the attached active bubble whose
+                            # availability is merged into this comb cell.
+                            target = None
+                            for s2 in avail_members[c]:
+                                if free[s2] <= now:
+                                    target = slot_vcs[s2]
+                                    break
+                            if target is None:
+                                target = routers[link.dest_node].bubble
+                    if requests is None:
+                        requests = [(port, vc, packet, out, target, (k + 1) % n)]
+                    else:
+                        requests.append(
+                            (port, vc, packet, out, target, (k + 1) % n)
+                        )
+                    break
+            if requests is None:
+                continue
+
+            # -- output arbitration: pick every winner, move every rr
+            # pointer, then run the transfers in the same order ----------
+            if len(requests) == 1:
+                port, vc, packet, out, target, advance = requests[0]
+                router._out_rr[out] = (port + 1) % 5
+                in_rr[port] = advance
+                winners = requests
+            else:
+                by_out: Dict[int, list] = {}
+                for req in requests:
+                    by_out.setdefault(req[3], []).append(req)
+                winners = []
+                for out, contenders in by_out.items():
+                    if len(contenders) == 1:
+                        winner = contenders[0]
+                    else:
+                        rr = router._out_rr[out]
+                        winner = min(contenders, key=lambda c: (c[0] - rr) % 5)
+                    router._out_rr[out] = (winner[0] + 1) % 5
+                    in_rr[winner[0]] = winner[5]
+                    winners.append(winner)
+
+            # -- transfer (``Network._transfer`` fused with the shadow
+            # updates).  The object mutations are statement-for-statement
+            # the reference's; the only deliberate difference is the
+            # direct ``_occupancy`` decrement — the wake hook matters for
+            # increments only, since any router with residents is already
+            # in the active set. ----------------------------------------
+            for port, vc, packet, out, target, advance in winners:
+                link = output_links[out]
+                size = packet.size
+                end = now + size
+                link.busy_until = end
+                vc.packet = None
+                vc.free_at = end
+                router._occupancy -= 1
+                b_reads += size
+                b_xbar += size
+                # Mirror: the source slot frees; its class cell can only
+                # improve.
+                vidx = vc.index
+                i = pstart[pbase + vc.port] + vidx if vidx >= 0 else bslot[rpos]
+                tslots.append(i)
+                ready[i] = BIG
+                free[i] = end
+                outc[i] = sent_link
+                downc[i] = sent_false
+                c = avail_of_slot[i]
+                if c >= 0:
+                    if end < avail_py[c]:
+                        avail_py[c] = end
+                        if end < comb[c]:
+                            comb[c] = end
+                            tcomb.append(c)
+                # else: the source was a bubble — its drain fires
+                # invalidate_vc_cache below, so its bubav cell resyncs
+                # next cycle.
+                cell = pbase + out
+                if end > lbusy[cell]:
+                    lbusy[cell] = end
+                tlinks.append(cell)
+                if target is None:
+                    nis[router.node].eject(packet, now)
+                else:
+                    b_linkc += size
+                    b_writes += size
+                    target.packet = packet
+                    target.ready_at = now2
+                    dest = link.dest_node
+                    dpos = rpos_map[dest]
+                    r2 = rlist[dpos]
+                    r2._occupancy += 1
+                    wake = r2._wake
+                    if wake is not None:
+                        wake(dest)
+                    escape = packet.is_escape
+                    if not escape:
+                        packet.hop += 1
+                    if obs is not None:
+                        obs.emit(
+                            now,
+                            PACKET_TRANSFER,
+                            router.node,
+                            {
+                                "pid": packet.pid,
+                                "to": dest,
+                                "out": _PORT_NAMES[out],
+                                "size": size,
+                            },
+                        )
+                    # Mirror: the target slot is now occupied.
+                    tidx = target.index
+                    j = (
+                        pstart[dpos * 5 + target.port] + tidx
+                        if tidx >= 0
+                        else bslot[dpos]
+                    )
+                    tslots.append(j)
+                    ready[j] = now2
+                    free[j] = BIG
+                    out2 = (
+                        r2._requested_output(packet)
+                        if escape
+                        else packet.route[packet.hop]
+                    )
+                    link2 = r2.output_links[out2]
+                    if link2 is None:
+                        outc[j] = sent_link
+                        downc[j] = sent_false
+                    else:
+                        outc[j] = dpos * 5 + out2
+                        if out2 == 4:
+                            downc[j] = sent_true
+                        else:
+                            downc[j] = avail_index_get(
+                                (
+                                    rpos_map[link2.dest_node],
+                                    _OPP[out2],
+                                    VC_ESCAPE if escape else VC_NORMAL,
+                                    packet.vnet,
+                                ),
+                                sent_false,
+                            )
+                    c2 = avail_of_slot[j]
+                    if c2 >= 0:
+                        # ``_set_avail`` inlined: class min, bubble merge.
+                        best = BIG
+                        for s2 in avail_members[c2]:
+                            v = free[s2]
+                            if v < best:
+                                best = v
+                        avail_py[c2] = best
+                        b = comb_bub[c2]
+                        if b >= 0:
+                            bv = bubav[b]
+                            if bv < best:
+                                best = bv
+                        comb[c2] = best
+                        tcomb.append(c2)
+                    else:
+                        # Claimed the downstream static bubble.
+                        self._set_bubav(dpos * 5 + target.port, BIG)
+                if vc.kind == VC_BUBBLE:
+                    # A drained bubble may leave the port's VC membership
+                    # (it is only attached while active or occupied).
+                    router.invalidate_vc_cache()
+                    scheme.on_bubble_drained(self, router, now)
+
+        if b_reads:
+            stats = self.stats
+            stats.buffer_reads += b_reads
+            stats.crossbar_flits += b_xbar
+            stats.link_flit_cycles += b_linkc
+            stats.buffer_writes += b_writes
+    # -- overrides that keep the mirror coherent -----------------------------
+
+    def send_special(self, from_node: int, out_port: int, msg: SpecialMessage) -> bool:
+        sent = super().send_special(from_node, out_port, msg)
+        if sent:
+            rpos = self._rpos.get(from_node)
+            if rpos is not None:
+                claimed = self.cycle + 1 if self._post_alloc else self.cycle
+                cell = rpos * 5 + out_port
+                if claimed + 1 > self._lbusy_py[cell]:
+                    self._lbusy_py[cell] = claimed + 1
+                    self._tlinks.append(cell)
+        return sent
+
+    def attach_obs(self, observer) -> None:
+        super().attach_obs(observer)
+        if getattr(observer, "tracer", None) is not None:
+            # Event *ordering* inside a cycle can differ between engines
+            # even though grants are identical; traces must come from the
+            # reference path.
+            self._force_reference = True
+
+    def apply_faults(self, links=(), routers=()):
+        summary = super().apply_faults(links, routers)
+        self._build_mirror()
+        return summary
+
+    def restore(self, links=(), routers=()):
+        summary = super().restore(links, routers)
+        self._build_mirror()
+        return summary

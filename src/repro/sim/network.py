@@ -53,8 +53,41 @@ _SPECIAL_STAT_KEY = {
 }
 
 
+#: Engines selectable at :class:`Network` construction.
+ENGINES = ("reference", "fast")
+
+
 class Network:
-    """A simulated NoC over one (possibly irregular) topology."""
+    """A simulated NoC over one (possibly irregular) topology.
+
+    ``engine`` selects the cycle-loop implementation:
+
+    * ``"reference"`` (default): the object-per-VC engine in this module —
+      the semantic ground truth every other engine must match bit-for-bit.
+    * ``"fast"``: the struct-of-arrays engine in :mod:`repro.sim.fastcore`
+      (requires numpy).  ``Network(..., engine="fast")`` transparently
+      constructs a :class:`~repro.sim.fastcore.FastNetwork`.
+    """
+
+    def __new__(
+        cls,
+        topo=None,
+        config=None,
+        scheme=None,
+        traffic=None,
+        seed: int = 1,
+        engine: str = "reference",
+    ):
+        if cls is Network and engine == "fast":
+            try:
+                from repro.sim.fastcore import FastNetwork
+            except ImportError as exc:  # pragma: no cover - numpy is a dep
+                raise RuntimeError(
+                    "engine='fast' requires numpy; install it or use "
+                    "engine='reference'"
+                ) from exc
+            return super().__new__(FastNetwork)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -63,7 +96,11 @@ class Network:
         scheme,
         traffic=None,
         seed: int = 1,
+        engine: str = "reference",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
+        self.engine = engine
         config.validate()
         if (topo.width, topo.height) != (config.width, config.height):
             raise ValueError("topology and config dimensions disagree")
@@ -143,6 +180,10 @@ class Network:
                 ni.eject_hook = hook
 
         scheme.setup(self)
+        self._engine_setup()
+
+    def _engine_setup(self) -> None:
+        """Engine-specific post-construction hook (mirror build in fastcore)."""
 
     # -- access --------------------------------------------------------
 
@@ -564,7 +605,8 @@ class Network:
         self._deliver_specials(now)
         self._inject_traffic(now)
         for ni in self._ni_list:
-            ni.try_inject(now)
+            if ni.queue:
+                ni.try_inject(now)
         if self.full_scan:
             for router in self._router_list:
                 if router._occupancy:

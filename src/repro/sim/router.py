@@ -105,6 +105,17 @@ class Router:
         #: bubble activation/deactivation, bubble drain, and escape-VC
         #: provisioning — the only events that change VC membership.
         self._vc_cache: List[Optional[Tuple[VirtualChannel, ...]]] = [None] * 5
+        #: Membership-change hook installed by a fast engine: called with
+        #: this router's node id from ``invalidate_vc_cache`` so mirrored
+        #: state can be resynchronized lazily.
+        self._dirty_hook: Optional[Callable[[int], None]] = None
+        #: Seal hook installed by the Static Bubble scheme: called with the
+        #: node id from ``set_io_restriction`` so the scheme's sealed-router
+        #: set tracks every install site (including direct calls in tests).
+        self._seal_hook: Optional[Callable[[int], None]] = None
+        #: Flat tuple of all compass-port (E/N/W/S) input VCs, rebuilt with
+        #: the class index — the SB watch logic walks this every cycle.
+        self.compass_vcs: Tuple[VirtualChannel, ...] = ()
         #: Per-port map (kind, vnet) -> VCs in index order, so the free-VC
         #: search touches only candidates of the right class.
         self._class_vcs: List[Dict[Tuple[int, int], Tuple[VirtualChannel, ...]]] = []
@@ -142,6 +153,8 @@ class Router:
         cache = self._vc_cache
         for port in range(5):
             cache[port] = None
+        if self._dirty_hook is not None:
+            self._dirty_hook(self.node)
 
     def cached_port_vcs(self, port: int) -> Tuple[VirtualChannel, ...]:
         """``tuple(port_vcs(port))``, cached until VC membership changes."""
@@ -160,6 +173,9 @@ class Router:
             self._class_vcs.append(
                 {key: tuple(vcs) for key, vcs in by_class.items()}
             )
+        self.compass_vcs = tuple(
+            vc for port in range(4) for vc in self.input_vcs[port]
+        )
 
     # -- construction helpers ---------------------------------------------
 
@@ -273,6 +289,8 @@ class Router:
         self.io_out_port = out_port
         self.source_id = source
         self.io_set_at = now
+        if self._seal_hook is not None:
+            self._seal_hook(self.node)
 
     def clear_io_restriction(self) -> None:
         self.is_deadlock = False

@@ -337,6 +337,11 @@ def restore(net, snap: Tuple) -> None:
             r.source_id,
             r.io_set_at,
         ) = seal
+        # Direct attribute writes bypass ``set_io_restriction``; re-fire
+        # the seal hook so scheme-side sealed-router sets stay supersets
+        # of the truth (stale members are discarded lazily).
+        if r.is_deadlock and r._seal_hook is not None:
+            r._seal_hook(r.node)
         r._in_rr[:] = in_rr
         r._out_rr[:] = out_rr
         r._occupancy = occupancy

@@ -66,6 +66,56 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             main(["simulate", "--scheme", "nope"])
 
+    def test_engine_flag_fast_matches_reference(self, capsys):
+        argv = [
+            "simulate",
+            "--width", "4", "--height", "4",
+            "--rate", "0.05",
+            "--warmup", "50", "--cycles", "200",
+        ]
+        assert main(argv + ["--engine", "reference"]) == 0
+        ref_out = capsys.readouterr().out
+        assert main(argv + ["--engine", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert fast_out == ref_out
+
+    def test_engine_env_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        assert main(
+            [
+                "simulate",
+                "--width", "3", "--height", "3",
+                "--rate", "0.05",
+                "--warmup", "20", "--cycles", "100",
+            ]
+        ) == 0
+        assert "avg latency" in capsys.readouterr().out
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--engine", "warp"])
+
+    def test_profile_flag(self, capsys, tmp_path):
+        pstats_path = tmp_path / "run.pstats"
+        code = main(
+            [
+                "simulate",
+                "--width", "3", "--height", "3",
+                "--rate", "0.05",
+                "--warmup", "20", "--cycles", "100",
+                "--profile",
+                "--profile-out", str(pstats_path),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "cumulative" in captured.err
+        assert "run_with_window" in captured.err
+        assert pstats_path.exists()
+        import pstats
+
+        assert pstats.Stats(str(pstats_path)).total_calls > 0
+
 
 class TestExperiment:
     def test_table1(self, capsys):

@@ -15,7 +15,13 @@ from repro.routing.paths import (
     route_is_valid,
     route_node_sequence,
 )
-from repro.routing.table import RoutingTable, build_minimal_tables
+from repro.routing.table import (
+    RoutingTable,
+    build_minimal_tables,
+    build_updown_tables,
+    clear_table_cache,
+    table_cache_enabled,
+)
 from repro.routing.xy import xy_route, xy_route_is_usable
 from repro.topology.faults import inject_link_faults
 from repro.topology.mesh import mesh
@@ -143,6 +149,53 @@ class TestRoutingTable:
         tables = build_minimal_tables(topo)
         assert not tables[0].has_route(3)
         assert tables[3].has_route(1)
+
+
+class TestTableCache:
+    """Fingerprint-keyed memoization of table construction."""
+
+    def test_cache_hit_shares_routes_not_dict(self):
+        clear_table_cache()
+        topo = inject_link_faults(mesh(6, 6), 5, random.Random(2))
+        first = build_minimal_tables(topo)
+        second = build_minimal_tables(topo)
+        assert first is not second  # callers own their mapping
+        src = next(iter(first))
+        dst = first[src].destinations()[0]
+        assert first[src].routes(dst)[0] is second[src].routes(dst)[0]
+
+    def test_topology_mutation_changes_key(self):
+        clear_table_cache()
+        topo = mesh(3, 3)
+        before = build_minimal_tables(topo)
+        topo.deactivate_link(0, 1)
+        after = build_minimal_tables(topo)
+        # Route sets genuinely differ: 0->1 lost its one-hop route.
+        assert len(before[0].routes(1)) != len(after[0].routes(1)) or (
+            before[0].routes(1)[0] is not after[0].routes(1)[0]
+        )
+
+    def test_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TABLE_CACHE", "0")
+        assert not table_cache_enabled()
+        clear_table_cache()
+        topo = mesh(3, 3)
+        first = build_minimal_tables(topo)
+        second = build_minimal_tables(topo)
+        assert first[0].routes(1)[0] is not second[0].routes(1)[0]
+
+    def test_updown_custom_trees_bypass_cache(self):
+        clear_table_cache()
+        topo = mesh(3, 3)
+        cached = build_updown_tables(topo)
+        cached2 = build_updown_tables(topo)
+        src = next(iter(cached))
+        dst = cached[src].destinations()[0]
+        assert cached[src].routes(dst)[0] is cached2[src].routes(dst)[0]
+        from repro.routing.spanning_tree import build_spanning_trees
+
+        fresh = build_updown_tables(topo, trees=build_spanning_trees(topo))
+        assert fresh[src].routes(dst)[0] is not cached[src].routes(dst)[0]
 
 
 @given(

@@ -89,6 +89,34 @@ class TestJobQueue:
         assert record.cached
         assert record.result == {"value": 10}
 
+    def test_engine_field_excluded_from_identity(self, store, tmp_path):
+        """Specs differing only in ``engine`` coalesce onto one result:
+        the engines are bit-identical, so a fast-engine submission must
+        hit the cache entry a reference-engine run produced."""
+        with make_queue(store, runner_ok) as queue:
+            ref, fresh1 = queue.submit(
+                {"value": 3, "engine": "reference", "log_dir": str(tmp_path)}
+            )
+            queue.wait(ref.job_id, timeout=30)
+            fast, fresh2 = queue.submit(
+                {"value": 3, "engine": "fast", "log_dir": str(tmp_path)}
+            )
+            assert fresh1 and not fresh2
+            assert fast.job_id == ref.job_id
+            assert fast.state == DONE
+
+    def test_batched_execution_matches(self, store, tmp_path):
+        """A batch_size'd queue produces the same results/records."""
+        with make_queue(store, runner_ok, batch_size=4) as queue:
+            records = [
+                queue.submit({"value": v, "log_dir": str(tmp_path)})[0]
+                for v in range(8)
+            ]
+            for record in records:
+                queue.wait(record.job_id, timeout=30)
+        for v, record in enumerate(records):
+            assert record.result == {"value": v * 2}
+
     def test_inflight_coalescing(self, store, tmp_path):
         spec = {"value": 1, "sleep": 0.4, "log_dir": str(tmp_path / "runs")}
         (tmp_path / "runs").mkdir()
