@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
-"""Quickstart: simulate an irregular NoC under all three schemes.
+"""Quickstart: simulate an irregular NoC under the paper's scheme lineup.
 
 Builds an 8x8 mesh, knocks out 8 random links (faults or power-gating —
 the library treats them identically), runs uniform-random traffic at a
 moderate load under the spanning-tree baseline, the escape-VC baseline,
-and Static Bubble, and prints latency/throughput plus the Static Bubble
-protocol counters.
+Static Bubble, and the adaptive congestion-aware variant, and prints
+latency/throughput plus the Static Bubble protocol counters.
 
 Run:  python examples/quickstart.py
 """
@@ -30,7 +30,7 @@ def main() -> None:
     config = SimConfig()
 
     rows = []
-    for name in ("spanning-tree", "escape-vc", "static-bubble"):
+    for name in ("spanning-tree", "escape-vc", "static-bubble", "adaptive"):
         traffic = UniformRandomTraffic(topo, rate=0.10, seed=7)
         network = Network(topo, config, make_scheme(name), traffic, seed=7)
         result = run_with_window(network, warmup=500, measure=2000)

@@ -81,6 +81,8 @@ def _cmd_schemes(args: argparse.Namespace) -> int:
         ["spanning-tree", "up*/down* avoidance over a spanning tree (baseline 1)"],
         ["escape-vc", "minimal + reserved escape VCs on a tree (baseline 2)"],
         ["static-bubble", "the paper's contribution: minimal + bubble recovery"],
+        ["adaptive", "congestion-aware minimal selection + bubble recovery"],
+        ["adaptive-escape", "congestion-aware minimal selection + escape VCs"],
     ]
     print(format_table(["scheme", "description"], rows))
     return 0
@@ -332,8 +334,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     kwargs = {}
     if args.drop_bubble:
-        if args.scheme != "static-bubble":
-            print("--drop-bubble only applies to static-bubble", file=sys.stderr)
+        if args.scheme not in ("static-bubble", "adaptive"):
+            # Both run the Static Bubble placement; every other scheme
+            # has no bubbles to drop.
+            print(
+                "--drop-bubble only applies to static-bubble/adaptive",
+                file=sys.stderr,
+            )
             return 2
         from repro.core.placement import placement_node_ids
 

@@ -26,8 +26,10 @@ from repro.topology.faults import sample_topologies
 from repro.topology.mesh import Topology
 from repro.traffic.synthetic import make_pattern
 
-#: Scheme names in the order the paper's figures list them.
-SCHEME_ORDER = ("spanning-tree", "escape-vc", "static-bubble")
+#: Scheme names in the order the paper's figures list them, plus the
+#: adaptive-minimal extension curve (congestion-aware selection over the
+#: static-bubble substrate) appended last.
+SCHEME_ORDER = ("spanning-tree", "escape-vc", "static-bubble", "adaptive")
 
 
 def topologies_for(

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.common import fan_out, safe_mean, topologies_for
-from repro.protocols import StaticBubbleScheme
+from repro.protocols import make_scheme
 from repro.sim.config import SimConfig
 from repro.sim.network import Network
 from repro.topology.mesh import Topology
@@ -32,6 +32,12 @@ class Fig11Params:
     router_faults: int = 20
     rate: float = 0.30
     t_dd_values: List[int] = field(default_factory=lambda: [5, 10, 20, 34, 60, 100])
+    #: Schemes swept per t_DD.  Both run the Static Bubble protocol; the
+    #: ``adaptive`` curve shows how congestion-aware selection changes the
+    #: probe/recovery traffic the threshold governs.
+    schemes: List[str] = field(
+        default_factory=lambda: ["static-bubble", "adaptive"]
+    )
     samples: int = 2
     seed: int = 42
     cycles: int = 3000
@@ -54,27 +60,30 @@ class Fig11Params:
 @dataclass
 class Fig11Result:
     params: Fig11Params
-    #: t_DD -> mean probes sent over the run.
-    probes: Dict[int, float]
-    #: t_DD -> mean probes per cycle.
-    probes_per_cycle: Dict[int, float]
-    #: (t_DD, class) -> mean share of used link-cycles.
-    link_share: Dict[Tuple[int, str], float]
-    #: t_DD -> mean latency of delivered packets.
-    latency: Dict[int, float]
+    #: (scheme, t_DD) -> mean probes sent over the run.
+    probes: Dict[Tuple[str, int], float]
+    #: (scheme, t_DD) -> mean probes per cycle.
+    probes_per_cycle: Dict[Tuple[str, int], float]
+    #: (scheme, t_DD, class) -> mean share of used link-cycles.
+    link_share: Dict[Tuple[str, int, str], float]
+    #: (scheme, t_DD) -> mean latency of delivered packets.
+    latency: Dict[Tuple[str, int], float]
 
 
 def _tdd_point(
     topo: Topology,
+    scheme: str,
     t_dd: int,
     rate: float,
     config: SimConfig,
     cycles: int,
     seed: int,
 ) -> Tuple[float, Dict[str, float], Optional[float]]:
-    """One (topology, t_DD) run: (probes, per-class link share, latency)."""
+    """One (topology, scheme, t_DD) run: (probes, link share, latency)."""
     traffic = UniformRandomTraffic(topo, rate=rate, seed=seed)
-    network = Network(topo, config, StaticBubbleScheme(t_dd=t_dd), traffic, seed=seed)
+    network = Network(
+        topo, config, make_scheme(scheme, t_dd=t_dd), traffic, seed=seed
+    )
     network.run(cycles)
     stats = network.stats
     lat = stats.avg_latency if stats.packets_ejected else None
@@ -95,65 +104,76 @@ def run(params: Fig11Params) -> Fig11Result:
         params.samples,
         params.seed,
     )
-    keys: List[int] = []
+    keys: List[Tuple[str, int]] = []
     argslist: List[tuple] = []
-    for t_dd in params.t_dd_values:
-        for i, topo in enumerate(topos):
-            keys.append(t_dd)
-            argslist.append(
-                (topo, t_dd, params.rate, config, params.cycles, params.seed + i)
-            )
+    for scheme in params.schemes:
+        for t_dd in params.t_dd_values:
+            for i, topo in enumerate(topos):
+                keys.append((scheme, t_dd))
+                argslist.append(
+                    (
+                        topo,
+                        scheme,
+                        t_dd,
+                        params.rate,
+                        config,
+                        params.cycles,
+                        params.seed + i,
+                    )
+                )
     outcomes = fan_out(_tdd_point, argslist, workers=params.workers)
-    probes: Dict[int, List[float]] = {}
-    shares: Dict[Tuple[int, str], List[float]] = {}
-    latency: Dict[int, List[float]] = {}
-    for t_dd, (n_probes, share_by_class, lat) in zip(keys, outcomes):
-        probes.setdefault(t_dd, []).append(n_probes)
+    probes: Dict[Tuple[str, int], List[float]] = {}
+    shares: Dict[Tuple[str, int, str], List[float]] = {}
+    latency: Dict[Tuple[str, int], List[float]] = {}
+    for (scheme, t_dd), (n_probes, share_by_class, lat) in zip(keys, outcomes):
+        probes.setdefault((scheme, t_dd), []).append(n_probes)
         for cls, share in share_by_class.items():
-            shares.setdefault((t_dd, cls), []).append(share)
+            shares.setdefault((scheme, t_dd, cls), []).append(share)
         if lat is not None:
-            latency.setdefault(t_dd, []).append(lat)
+            latency.setdefault((scheme, t_dd), []).append(lat)
     return Fig11Result(
         params,
-        probes={t: safe_mean(v) for t, v in probes.items()},
+        probes={k: safe_mean(v) for k, v in probes.items()},
         probes_per_cycle={
-            t: safe_mean(v) / params.cycles for t, v in probes.items()
+            k: safe_mean(v) / params.cycles for k, v in probes.items()
         },
         link_share={k: safe_mean(v) for k, v in shares.items()},
-        latency={t: safe_mean(v) for t, v in latency.items()},
+        latency={k: safe_mean(v) for k, v in latency.items()},
     )
 
 
 def report(result: Fig11Result) -> str:
     rep = Reporter("Fig. 11 — deadlock-detection threshold sweep")
-    rows = []
-    for t_dd in result.params.t_dd_values:
-        rows.append(
+    for scheme in result.params.schemes:
+        rows = []
+        for t_dd in result.params.t_dd_values:
+            rows.append(
+                [
+                    t_dd,
+                    result.probes[(scheme, t_dd)],
+                    result.probes_per_cycle[(scheme, t_dd)],
+                    100 * result.link_share[(scheme, t_dd, "flit")],
+                    100 * result.link_share[(scheme, t_dd, "probe")],
+                    100 * result.link_share[(scheme, t_dd, "disable")],
+                    100 * result.link_share[(scheme, t_dd, "enable")],
+                    100 * result.link_share[(scheme, t_dd, "check_probe")],
+                    result.latency.get((scheme, t_dd), 0.0),
+                ]
+            )
+        rep.table(
             [
-                t_dd,
-                result.probes[t_dd],
-                result.probes_per_cycle[t_dd],
-                100 * result.link_share[(t_dd, "flit")],
-                100 * result.link_share[(t_dd, "probe")],
-                100 * result.link_share[(t_dd, "disable")],
-                100 * result.link_share[(t_dd, "enable")],
-                100 * result.link_share[(t_dd, "check_probe")],
-                result.latency.get(t_dd, 0.0),
-            ]
+                "t_DD",
+                "probes",
+                "probes/cyc",
+                "flit %",
+                "probe %",
+                "disable %",
+                "enable %",
+                "chk %",
+                "latency",
+            ],
+            rows,
+            ndigits=2,
+            title=f"scheme: {scheme}",
         )
-    rep.table(
-        [
-            "t_DD",
-            "probes",
-            "probes/cyc",
-            "flit %",
-            "probe %",
-            "disable %",
-            "enable %",
-            "chk %",
-            "latency",
-        ],
-        rows,
-        ndigits=2,
-    )
     return rep.text()

@@ -149,10 +149,17 @@ def report(result: Fig8Result) -> str:
                         result.latency[(pattern, kind, count, "spanning-tree")],
                         result.normalized(pattern, kind, count, "escape-vc"),
                         result.normalized(pattern, kind, count, "static-bubble"),
+                        result.normalized(pattern, kind, count, "adaptive"),
                     ]
                 )
             rep.table(
-                [f"{kind} faults", "sp-tree lat (cyc)", "escape-vc", "static-bubble"],
+                [
+                    f"{kind} faults",
+                    "sp-tree lat (cyc)",
+                    "escape-vc",
+                    "static-bubble",
+                    "adaptive",
+                ],
                 rows,
                 title=f"[{pattern}] normalized latency vs {kind} faults",
             )

@@ -121,10 +121,17 @@ def report(result: Fig9Result) -> str:
                     result.throughput[(kind, count, "spanning-tree")],
                     result.normalized(kind, count, "escape-vc"),
                     result.normalized(kind, count, "static-bubble"),
+                    result.normalized(kind, count, "adaptive"),
                 ]
             )
         rep.table(
-            [f"{kind} faults", "sp-tree thr", "escape-vc", "static-bubble"],
+            [
+                f"{kind} faults",
+                "sp-tree thr",
+                "escape-vc",
+                "static-bubble",
+                "adaptive",
+            ],
             rows,
             title=f"normalized saturation throughput vs {kind} faults",
         )

@@ -1,5 +1,6 @@
 """Deadlock-freedom schemes: baselines and the Static Bubble contribution."""
 
+from repro.protocols.adaptive import AdaptiveEscapeScheme, AdaptiveMinimalScheme
 from repro.protocols.base import DeadlockScheme
 from repro.protocols.none import MinimalUnprotected
 from repro.protocols.spanning_tree import SpanningTreeAvoidance
@@ -13,6 +14,8 @@ SCHEMES = {
     "spanning-tree": SpanningTreeAvoidance,
     "escape-vc": EscapeVcRecovery,
     "static-bubble": StaticBubbleScheme,
+    "adaptive": AdaptiveMinimalScheme,
+    "adaptive-escape": AdaptiveEscapeScheme,
 }
 
 
@@ -32,6 +35,8 @@ __all__ = [
     "SpanningTreeAvoidance",
     "EscapeVcRecovery",
     "StaticBubbleScheme",
+    "AdaptiveMinimalScheme",
+    "AdaptiveEscapeScheme",
     "SCHEMES",
     "make_scheme",
 ]

@@ -796,10 +796,9 @@ class StaticBubbleScheme(DeadlockScheme):
         mask = 0
         for vc in vcs:
             packet = vc.packet
-            if packet.is_escape:
-                out = router._requested_output(packet)
-            else:
-                out = packet.route[packet.hop]
+            # _requested_output resolves escape tables, a cached adaptive
+            # preference, or the embedded source route as appropriate.
+            out = router._requested_output(packet)
             if out != 4 and out != in_port:  # Port.LOCAL / u-turn
                 mask |= 1 << out
         if not self.fork_probes and mask & (mask - 1):

@@ -35,36 +35,53 @@ def build_wait_graph(network: "Network", now: int) -> Dict[int, List[int]]:
     for router in network.active_routers():
         if router.occupancy == 0:
             continue
+        adaptive = router._adaptive_lookup is not None
         for vc in router.all_vcs():
             if not vc.has_switchable_packet(now):
                 continue
             packet = vc.packet
-            out = router._requested_output(packet)
-            if out == Port.LOCAL:
-                continue  # ejection always drains
-            link = router.output_links[out]
-            if link is None:
-                continue  # stuck on a dead link: a routing bug, not deadlock
-            downstream = network.router_at(link.dest_node)
-            in_port = OPPOSITE_PORT[out]
+            if adaptive and not packet.is_escape:
+                # An adaptive packet waits only if EVERY minimal candidate
+                # is blocked; its wait set is the union across candidates.
+                # Scoring the single cached preference instead would
+                # report deadlock while another candidate drains freely.
+                outs = router._adaptive_lookup(router.node, packet.dst)
+            else:
+                outs = (router._requested_output(packet),)
             waits_on: List[int] = []
             blocked = True
-            wanted_kind = 1 if packet.is_escape else 0  # VC_ESCAPE / VC_NORMAL
-            for cand in downstream.cached_port_vcs(in_port):
-                if cand.kind == 2:  # bubble: usable by normal packets
-                    usable = not packet.is_escape
-                elif cand.kind == wanted_kind and cand.vnet == packet.vnet:
-                    usable = True
-                else:
-                    usable = False
-                if not usable:
+            live_candidates = False
+            for out in outs:
+                if out == Port.LOCAL:
+                    blocked = False  # ejection always drains
+                    break
+                link = router.output_links[out]
+                if link is None:
+                    # Stuck on a dead link: a routing bug, not deadlock.
                     continue
-                if cand.packet is None:
-                    # Free now or merely draining: the wait will resolve.
+                live_candidates = True
+                downstream = network.router_at(link.dest_node)
+                in_port = OPPOSITE_PORT[out]
+                wanted_kind = 1 if packet.is_escape else 0  # ESCAPE / NORMAL
+                port_free = False
+                for cand in downstream.cached_port_vcs(in_port):
+                    if cand.kind == 2:  # bubble: usable by normal packets
+                        usable = not packet.is_escape
+                    elif cand.kind == wanted_kind and cand.vnet == packet.vnet:
+                        usable = True
+                    else:
+                        usable = False
+                    if not usable:
+                        continue
+                    if cand.packet is None:
+                        # Free now or merely draining: the wait resolves.
+                        port_free = True
+                        break
+                    waits_on.append(cand.packet.pid)
+                if port_free:
                     blocked = False
                     break
-                waits_on.append(cand.packet.pid)
-            if blocked and waits_on:
+            if blocked and live_candidates and waits_on:
                 adjacency[packet.pid] = waits_on
     return adjacency
 

@@ -98,6 +98,11 @@ class FastNetwork(Network):
         self._paranoid = os.environ.get("REPRO_FAST_PARANOID", "") not in ("", "0")
         #: Node ids whose router mutated VC membership since the last sync.
         self._dirty: set = set()
+        #: VC *structure* changed post-warm (``add_escape_vcs`` /
+        #: ``add_static_bubble`` outside apply_faults/restore): the slot
+        #: layout and class cells are wrong, not just their values, so a
+        #: value-level resync cannot help — rebuild wholesale.
+        self._structure_stale = False
         self._build_mirror()
 
     def _build_mirror(self) -> None:
@@ -184,6 +189,10 @@ class FastNetwork(Network):
         self._sent_link = L
         self._sent_true = C  # always-available comb cell (LOCAL ejection)
         self._sent_false = C + 1
+        #: Always-free link cell: adaptive slots point here so the filter
+        #: reduces to ``ready <= now`` — a multi-candidate request has no
+        #: single (outc, downc) pair, so stage 2 evaluates it live.
+        self._sent_pass = L + 1
 
         # Which bubble-availability cell folds into each class cell (the
         # class's own (router, port) for normal classes; escape packets
@@ -203,7 +212,7 @@ class FastNetwork(Network):
         self._outc_py: List[int] = [L] * S
         self._downc_py: List[int] = [C + 1] * S
         self._free_py: List[int] = [0] * S
-        self._lbusy_py: List[int] = [0] * L + [BIG]
+        self._lbusy_py: List[int] = [0] * L + [BIG, 0]
         self._avail_py: List[int] = [0] * C
         self._bubav_py: List[int] = [BIG] * (L + 1)
         self._comb_py: List[int] = [0] * C + [0, BIG]
@@ -211,8 +220,8 @@ class FastNetwork(Network):
         self._ready = np.full(S, BIG, dtype=np.int64)
         self._outc = np.full(S, L, dtype=np.intp)
         self._downc = np.full(S, C + 1, dtype=np.intp)
-        self._lbusy = np.zeros(L + 1, dtype=np.int64)
-        self._lbusy[L] = BIG
+        self._lbusy = np.zeros(L + 2, dtype=np.int64)
+        self._lbusy[L] = BIG  # [L + 1] stays 0: the always-free cell
         self._comb = np.zeros(C + 2, dtype=np.int64)
         self._comb[C + 1] = BIG
         self._t1 = np.empty(S, dtype=np.int64)
@@ -229,6 +238,7 @@ class FastNetwork(Network):
 
         for router in rlist:
             router._dirty_hook = self._dirty.add
+            router._structure_hook = self._on_structure_change
 
         # Injection prefilter: with one vnet every queued packet wants the
         # (LOCAL, normal, vnet 0) class, so the class cell decides "is a
@@ -250,6 +260,7 @@ class FastNetwork(Network):
         for rpos in range(R):
             self._resync_router(rpos)
         self._dirty.clear()
+        self._structure_stale = False
         self._apply_pending()
 
     # -- mirror synchronization ---------------------------------------------
@@ -291,6 +302,14 @@ class FastNetwork(Network):
         self._free_py[i] = BIG
         rpos = self._slot_rpos[i]
         router = self._mrouters[rpos]
+        if not packet.is_escape and router._adaptive_lookup is not None:
+            # Multi-candidate request: no single (outc, downc) pair can
+            # express "grantable via any minimal hop", so the filter
+            # passes whenever the packet is switchable and stage 2 walks
+            # the candidates live (the shared ``_adaptive_request``).
+            self._outc_py[i] = self._sent_pass
+            self._downc_py[i] = self._sent_true
+            return
         out = router._requested_output(packet)
         link = router.output_links[out]
         if link is None:
@@ -379,6 +398,18 @@ class FastNetwork(Network):
         for rpos in range(len(self._mrouters)):
             self._resync_router(rpos)
 
+    def _on_structure_change(self, node: int) -> None:
+        """``Router._structure_hook``: VC membership/classing mutated.
+
+        ``add_escape_vcs`` / ``add_static_bubble`` running post-warm
+        (e.g. scheme reconciliation outside the apply_faults/restore
+        rebuild path) change the slot *layout* — ``avail_members`` and
+        ``avail_index`` still class converted VCs under their old kind,
+        which a value-level ``_resync_router`` cannot repair.  Schedule a
+        wholesale mirror rebuild for the next step.
+        """
+        self._structure_stale = True
+
     def _flush_dirty(self) -> None:
         if self._paranoid or self._mirror_stale:
             self._resync_all()
@@ -402,6 +433,8 @@ class FastNetwork(Network):
             return
         now = self.cycle
         self._deliver_specials(now)
+        if self._structure_stale:
+            self._build_mirror()
         if self._dirty or self._mirror_stale or self._paranoid:
             self._flush_dirty()
         if self._tslots or self._tlinks or self._tcomb:
@@ -531,6 +564,7 @@ class FastNetwork(Network):
         sent_link = self._sent_link
         sent_true = self._sent_true
         sent_false = self._sent_false
+        sent_pass = self._sent_pass
         tslots = self._tslots
         tlinks = self._tlinks
         tcomb = self._tcomb
@@ -590,6 +624,7 @@ class FastNetwork(Network):
             in_rr = router._in_rr
             output_links = router.output_links
             restricted = router.is_deadlock
+            adaptive = router._adaptive_lookup is not None
             requests = None
             # Slots ascend within a router, so insertion order is already
             # port-ascending unless a bubble candidate (whose port is
@@ -618,6 +653,23 @@ class FastNetwork(Network):
                     packet = vc.packet
                     if packet is None or now < vc.ready_at:
                         continue
+                    if adaptive and not packet.is_escape:
+                        # The shared multi-candidate scan: same method,
+                        # same live objects, same side effects as the
+                        # reference engine (adapt_out caching included).
+                        grant = self._adaptive_request(router, port, packet, now)
+                        if grant is None:
+                            continue
+                        out, target = grant
+                        if requests is None:
+                            requests = [
+                                (port, vc, packet, out, target, (k + 1) % n)
+                            ]
+                        else:
+                            requests.append(
+                                (port, vc, packet, out, target, (k + 1) % n)
+                            )
+                        break
                     if packet.is_escape:
                         out = router._requested_output(packet)
                     else:
@@ -680,6 +732,8 @@ class FastNetwork(Network):
                 port, vc, packet, out, target, advance = requests[0]
                 router._out_rr[out] = (port + 1) % 5
                 in_rr[port] = advance
+                if adaptive and not packet.is_escape:
+                    router._adapt_rr[port] = (out + 1) % 5
                 winners = requests
             else:
                 by_out: Dict[int, list] = {}
@@ -694,6 +748,8 @@ class FastNetwork(Network):
                         winner = min(contenders, key=lambda c: (c[0] - rr) % 5)
                     router._out_rr[out] = (winner[0] + 1) % 5
                     in_rr[winner[0]] = winner[5]
+                    if adaptive and not winner[2].is_escape:
+                        router._adapt_rr[winner[0]] = (out + 1) % 5
                     winners.append(winner)
 
             # -- transfer (``Network._transfer`` fused with the shadow
@@ -752,6 +808,9 @@ class FastNetwork(Network):
                     escape = packet.is_escape
                     if not escape:
                         packet.hop += 1
+                        # Matches Network._transfer: the cached adaptive
+                        # preference died with the router just left.
+                        packet.adapt_out = -1
                     if obs is not None:
                         obs.emit(
                             now,
@@ -774,29 +833,35 @@ class FastNetwork(Network):
                     tslots.append(j)
                     ready[j] = now2
                     free[j] = BIG
-                    out2 = (
-                        r2._requested_output(packet)
-                        if escape
-                        else packet.route[packet.hop]
-                    )
-                    link2 = r2.output_links[out2]
-                    if link2 is None:
-                        outc[j] = sent_link
-                        downc[j] = sent_false
+                    if not escape and r2._adaptive_lookup is not None:
+                        # Adaptive arrival: always-pass sentinels, same
+                        # as ``_sync_slot``.
+                        outc[j] = sent_pass
+                        downc[j] = sent_true
                     else:
-                        outc[j] = dpos * 5 + out2
-                        if out2 == 4:
-                            downc[j] = sent_true
+                        out2 = (
+                            r2._requested_output(packet)
+                            if escape
+                            else packet.route[packet.hop]
+                        )
+                        link2 = r2.output_links[out2]
+                        if link2 is None:
+                            outc[j] = sent_link
+                            downc[j] = sent_false
                         else:
-                            downc[j] = avail_index_get(
-                                (
-                                    rpos_map[link2.dest_node],
-                                    _OPP[out2],
-                                    VC_ESCAPE if escape else VC_NORMAL,
-                                    packet.vnet,
-                                ),
-                                sent_false,
-                            )
+                            outc[j] = dpos * 5 + out2
+                            if out2 == 4:
+                                downc[j] = sent_true
+                            else:
+                                downc[j] = avail_index_get(
+                                    (
+                                        rpos_map[link2.dest_node],
+                                        _OPP[out2],
+                                        VC_ESCAPE if escape else VC_NORMAL,
+                                        packet.vnet,
+                                    ),
+                                    sent_false,
+                                )
                     c2 = avail_of_slot[j]
                     if c2 >= 0:
                         # ``_set_avail`` inlined: class min, bubble merge.

@@ -383,6 +383,14 @@ class Network:
                     continue
                 if packet.is_escape:
                     continue  # follows the (rebuilt) per-router escape tables
+                if router._adaptive_lookup is not None:
+                    # Adaptive packets carry no committed route — the
+                    # reachability check above is the whole salvage story.
+                    # Drop the cached preference (it may point at a
+                    # torn-down link); the next scan re-chooses from the
+                    # rebuilt candidate sets.
+                    packet.adapt_out = -1
+                    continue
                 if self._route_intact(router.node, packet.route, packet.hop):
                     continue
                 if packet.dst == router.node:
@@ -541,6 +549,13 @@ class Network:
                     router.output_links[port] = None
                 elif router.output_links[port] is None:
                     router.output_links[port] = OutputLink(peer)
+            # Re-home the arbiters.  Stale round-robin pointers would keep
+            # biasing arbitration toward ports that no longer exist after
+            # a reconfiguration — and a network rebuilt from the same
+            # faulted topology starts from zero, so in-place must too.
+            router._in_rr = [0] * 5
+            router._out_rr = [0] * 5
+            router._adapt_rr = [0] * 5
 
     def _rebuild_tables(self) -> Dict[int, RoutingTable]:
         """Re-run the scheme's table construction and swap tables in place."""
@@ -664,6 +679,7 @@ class Network:
         in_rr = router._in_rr
         output_links = router.output_links
         restricted = router.is_deadlock
+        adaptive = router._adaptive_lookup is not None
         for port in range(5):
             vcs = vc_cache[port]
             if vcs is None:
@@ -677,6 +693,15 @@ class Network:
                 packet = vc.packet
                 if packet is None or now < vc.ready_at:
                     continue
+                if adaptive and not packet.is_escape:
+                    grant = self._adaptive_request(router, port, packet, now)
+                    if grant is None:
+                        continue
+                    out, target = grant
+                    requests.append(
+                        (port, vc, packet, out, target, (start + k + 1) % n)
+                    )
+                    break
                 if packet.is_escape:
                     out = router._requested_output(packet)
                 else:
@@ -716,7 +741,58 @@ class Network:
                 winner = min(contenders, key=lambda c: (c[0] - rr) % 5)
             router._out_rr[out] = (winner[0] + 1) % 5
             in_rr[winner[0]] = winner[4]
+            if adaptive and not winner[2].is_escape:
+                # The adaptive tie-break pointer advances past the port
+                # that just won, like the switch arbiters: grants rotate
+                # preference, losses keep it.
+                router._adapt_rr[winner[0]] = (out + 1) % 5
             self._transfer(router, winner[1], winner[2], out, winner[3], now)
+
+    def _adaptive_request(
+        self, router: Router, port: int, packet: Packet, now: int
+    ) -> Optional[Tuple[int, Optional[VirtualChannel]]]:
+        """One adaptive packet's switch request: first grantable candidate.
+
+        Walks the credit-ordered minimal candidates
+        (:meth:`Router.adaptive_order`) and returns ``(out, target_vc)``
+        for the first one that clears every grant condition the
+        deterministic path checks (live link, IO-priority seal,
+        downstream free VC), or ``None`` when the packet cannot move this
+        cycle.  ``packet.adapt_out`` is updated to the winning candidate
+        — or the top preference when nothing is grantable — so probes,
+        the deadlock oracle, and seal checks see a concrete outport.
+
+        Shared verbatim by both engines: the fast engine's scalar grant
+        stage calls this method too, which is what keeps adaptive outport
+        choice bit-identical across engines.
+        """
+        order = router.adaptive_order(port, packet, self.routers, now)
+        if not order:
+            return None
+        packet.adapt_out = order[0]
+        output_links = router.output_links
+        restricted = router.is_deadlock
+        for out in order:
+            link = output_links[out]
+            if (
+                link is None
+                or now < link.busy_until
+                or link.special_blocked_at == now
+            ):
+                continue
+            if restricted and not router.injection_allowed(port, out):
+                continue
+            if out == 4:  # Port.LOCAL
+                packet.adapt_out = out
+                return out, None
+            target = self.routers[link.dest_node].free_vc_for(
+                OPPOSITE_PORT[out], packet, now
+            )
+            if target is None:
+                continue
+            packet.adapt_out = out
+            return out, target
+        return None
 
     def _transfer(
         self,
@@ -745,6 +821,9 @@ class Network:
             self.routers[link.dest_node].occupancy += 1
             if not packet.is_escape:
                 packet.hop += 1
+                # Any cached adaptive preference referred to the router
+                # just left; the next allocation scan re-chooses here.
+                packet.adapt_out = -1
             if self.obs is not None:
                 self.obs.emit(
                     now,

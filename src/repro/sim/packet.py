@@ -18,7 +18,10 @@ class Packet:
     ``route`` is the source route embedded at injection (Section II-D);
     ``hop`` indexes the next output port to take.  A packet diverted into
     the escape layer sets ``is_escape`` and thereafter ignores ``route``,
-    following the per-router escape tables instead.
+    following the per-router escape tables instead.  Under an adaptive
+    scheme the stamped route is likewise advisory: the router re-chooses
+    among all minimal next hops each cycle and caches its current
+    preference in ``adapt_out``.
     """
 
     __slots__ = (
@@ -33,6 +36,7 @@ class Packet:
         "ejected_at",
         "is_escape",
         "created_at",
+        "adapt_out",
     )
 
     def __init__(
@@ -56,6 +60,11 @@ class Packet:
         self.ejected_at: Optional[int] = None
         self.is_escape = False
         self.created_at = created_at
+        # Outport preference cached by the adaptive allocation scan; -1
+        # when no choice has been made at the current router.  Only
+        # meaningful under an adaptive scheme — deterministic schemes
+        # never read it.
+        self.adapt_out = -1
 
     def next_port(self) -> Port:
         """Next output port per the embedded source route."""

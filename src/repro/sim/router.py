@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.core.turns import Port
+from repro.core.turns import OPPOSITE_PORT, Port
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -94,6 +94,9 @@ class Router:
         #: Round-robin pointers for input-side and output-side arbiters.
         self._in_rr = [0] * 5
         self._out_rr = [0] * 5
+        #: Per-input-port round-robin pointer breaking credit ties in the
+        #: adaptive outport selection (unused by deterministic schemes).
+        self._adapt_rr = [0] * 5
         #: Number of packets resident in this router (fast idle skip).
         self._occupancy = 0
         #: Wake hook installed by the owning network: called with this
@@ -109,6 +112,11 @@ class Router:
         #: this router's node id from ``invalidate_vc_cache`` so mirrored
         #: state can be resynchronized lazily.
         self._dirty_hook: Optional[Callable[[int], None]] = None
+        #: Structure hook, also installed by a fast engine: fired when VC
+        #: *membership or classing* changes (``add_escape_vcs`` /
+        #: ``add_static_bubble`` running post-warm), which a value-level
+        #: resync cannot absorb — the mirror must rebuild its slot layout.
+        self._structure_hook: Optional[Callable[[int], None]] = None
         #: Seal hook installed by the Static Bubble scheme: called with the
         #: node id from ``set_io_restriction`` so the scheme's sealed-router
         #: set tracks every install site (including direct calls in tests).
@@ -203,11 +211,15 @@ class Router:
                     )
         self._rebuild_class_index()
         self.invalidate_vc_cache()
+        if self._structure_hook is not None:
+            self._structure_hook(self.node)
 
     def add_static_bubble(self) -> None:
         """Attach the (initially off) static bubble buffer."""
         self.bubble = VirtualChannel(-1, -1, 0, VC_BUBBLE)
         self.invalidate_vc_cache()
+        if self._structure_hook is not None:
+            self._structure_hook(self.node)
 
     def activate_bubble(self, in_port: int) -> None:
         if self.bubble is None:
@@ -308,13 +320,84 @@ class Router:
         return False
 
     def _requested_output(self, packet: Packet) -> int:
-        """Output port the packet wants at this router (escape-aware)."""
+        """Output port the packet wants at this router (escape-aware).
+
+        Adaptive packets report the preference cached by the last
+        allocation scan (``packet.adapt_out``); before any scan has run
+        at this router, the lowest-numbered minimal candidate stands in.
+        The single-outport view is what probes, seal checks, and trace
+        events consume — the allocator itself uses the full candidate
+        set via :meth:`adaptive_order`.
+        """
         if packet.is_escape and self._escape_lookup is not None:
             return self._escape_lookup(self.node, packet.dst)
+        if self._adaptive_lookup is not None:
+            out = packet.adapt_out
+            if out >= 0:
+                return out
+            candidates = self._adaptive_lookup(self.node, packet.dst)
+            return candidates[0] if candidates else int(Port.LOCAL)
         return packet.route[packet.hop]
+
+    # -- adaptive outport selection ----------------------------------------
+
+    def downstream_credits(self, out: int, vnet: int, routers, now: int) -> int:
+        """Free non-escape VCs of ``vnet`` at the downstream input port.
+
+        This is the credit signal the adaptive selection scores with: the
+        count of immediately claimable normal VCs behind outport ``out``.
+        Escape VCs never count (they belong to the recovery layer) and
+        neither does a static bubble (claimable, but only as a last
+        resort through :meth:`free_vc_for` — scoring it would steer load
+        *into* the recovery resource).  Returns 0 for a dead link.
+        """
+        link = self.output_links[out]
+        if link is None or link.dest_node is None:
+            return 0
+        downstream = routers[link.dest_node]
+        credits = 0
+        in_port = OPPOSITE_PORT[out]
+        for vc in downstream._class_vcs[in_port].get((VC_NORMAL, vnet), ()):
+            if vc.packet is None and now >= vc.free_at:
+                credits += 1
+        return credits
+
+    def adaptive_order(
+        self, in_port: int, packet: Packet, routers, now: int
+    ) -> List[int]:
+        """Minimal outport candidates for ``packet``, best-first.
+
+        Order: downstream credit count descending, ties broken by the
+        per-input-port round-robin pointer ``_adapt_rr[in_port]`` (the
+        pointer advances only when a grant lands, mirroring the switch
+        arbiters).  Candidates whose output link is torn down are
+        dropped; the ejection port (destination reached) is always the
+        sole candidate and shortcuts the scoring walk.
+        """
+        candidates = self._adaptive_lookup(self.node, packet.dst)
+        if len(candidates) <= 1:
+            return list(candidates)
+        rr = self._adapt_rr[in_port]
+        scored = []
+        for out in candidates:
+            if self.output_links[out] is None:
+                continue
+            scored.append(
+                (
+                    -self.downstream_credits(out, packet.vnet, routers, now),
+                    (out - rr) % 5,
+                    out,
+                )
+            )
+        scored.sort()
+        return [entry[2] for entry in scored]
 
     #: Installed by the escape-VC scheme: (node, dst) -> output port.
     _escape_lookup: Optional[Callable[[int, int], int]] = None
+    #: Installed by an adaptive scheme: (node, dst) -> tuple of minimal
+    #: outport candidates (ascending).  ``None`` under deterministic
+    #: schemes, which keeps the allocation hot path branch-free for them.
+    _adaptive_lookup: Optional[Callable[[int, int], Tuple[int, ...]]] = None
 
     def __repr__(self) -> str:
         return f"Router({self.node}, occ={self.occupancy}, dl={self.is_deadlock})"

@@ -27,6 +27,8 @@ class TestSchemes:
             "spanning-tree",
             "escape-vc",
             "static-bubble",
+            "adaptive",
+            "adaptive-escape",
         ):
             assert name in out
 

@@ -39,7 +39,12 @@ class TestCommon:
         assert normalize_to(0.0, 1.0) == 1.0
 
     def test_scheme_order(self):
-        assert SCHEME_ORDER == ("spanning-tree", "escape-vc", "static-bubble")
+        assert SCHEME_ORDER == (
+            "spanning-tree",
+            "escape-vc",
+            "static-bubble",
+            "adaptive",
+        )
 
 
 class TestFig2:
@@ -150,18 +155,34 @@ class TestFig10:
 class TestFig11:
     def test_probes_decline_with_t_dd(self):
         params = fig11_tdd_sweep.Fig11Params(
-            t_dd_values=[5, 100], samples=1, cycles=1500
+            t_dd_values=[5, 100],
+            schemes=["static-bubble"],
+            samples=1,
+            cycles=1500,
         )
         result = fig11_tdd_sweep.run(params)
-        assert result.probes[5] > result.probes[100]
+        assert result.probes[("static-bubble", 5)] > result.probes[
+            ("static-bubble", 100)
+        ]
         assert "Fig. 11" in fig11_tdd_sweep.report(result)
 
     def test_flits_dominate_link_usage(self):
         params = fig11_tdd_sweep.Fig11Params(
-            t_dd_values=[34], samples=1, cycles=1500
+            t_dd_values=[34], schemes=["static-bubble"], samples=1, cycles=1500
         )
         result = fig11_tdd_sweep.run(params)
-        assert result.link_share[(34, "flit")] > 0.80
+        assert result.link_share[("static-bubble", 34, "flit")] > 0.80
+
+    def test_adaptive_curve_runs_the_sb_protocol(self):
+        params = fig11_tdd_sweep.Fig11Params(
+            t_dd_values=[20], schemes=["adaptive"], samples=1, cycles=1500
+        )
+        result = fig11_tdd_sweep.run(params)
+        # The adaptive scheme inherits the probe/recovery machinery, so
+        # the t_DD sweep applies to it unchanged.
+        assert ("adaptive", 20) in result.probes
+        assert result.link_share[("adaptive", 20, "flit")] > 0.50
+        assert "scheme: adaptive" in fig11_tdd_sweep.report(result)
 
 
 class TestFig12:

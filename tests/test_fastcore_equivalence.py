@@ -39,6 +39,8 @@ except ImportError:  # pragma: no cover - numpy is baked into the toolchain
 _REQUIRE_FAST = os.environ.get("REPRO_REQUIRE_FAST", "") not in ("", "0")
 
 ALL_SCHEMES = [
+    "adaptive",
+    "adaptive-escape",
     "escape-vc",
     "minimal-unprotected",
     "spanning-tree",
@@ -115,7 +117,9 @@ def test_measurement_window_identical(scheme_name):
     assert fast.stats.window_packets_ejected > 0
 
 
-@pytest.mark.parametrize("scheme_name", ["static-bubble", "minimal-unprotected"])
+@pytest.mark.parametrize(
+    "scheme_name", ["static-bubble", "minimal-unprotected", "adaptive"]
+)
 def test_deadlock_monitor_verdicts_identical(scheme_name):
     """The ground-truth deadlock oracle sees the same network evolution."""
     ref, fast = _make_pair(scheme_name, rate=0.30, faults=10, fault_seed=3)
@@ -143,9 +147,10 @@ def test_recovery_activity_is_exercised_and_identical():
     assert ref.stats.recoveries_completed + ref.stats.recoveries_aborted > 0
 
 
-def test_live_reconfig_identical_on_fast_engine():
+@pytest.mark.parametrize("scheme_name", ["static-bubble", "adaptive"])
+def test_live_reconfig_identical_on_fast_engine(scheme_name):
     """apply_faults / restore mid-run work on the fast engine (mirror rebuild)."""
-    ref, fast = _make_pair("static-bubble", rate=0.10, faults=4)
+    ref, fast = _make_pair(scheme_name, rate=0.10, faults=4)
     for net in (ref, fast):
         net.run(150)
         summary = net.apply_faults(routers=[27], links=[(9, 10)])
