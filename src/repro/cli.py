@@ -94,6 +94,7 @@ def _simulate_spec_from_args(args: argparse.Namespace) -> "SimSpec":
     return SimSpec(
         width=args.width,
         height=args.height,
+        topology=getattr(args, "topology", None),
         link_faults=args.link_faults,
         router_faults=args.router_faults,
         scheme=args.scheme,
@@ -116,7 +117,16 @@ def _resolve_engine_arg(args: argparse.Namespace) -> str:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    topo = mesh(args.width, args.height)
+    if args.topology:
+        from repro.topology.generators import parse_topology
+
+        try:
+            topo = parse_topology(args.topology)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        topo = mesh(args.width, args.height)
     rng = random.Random(args.seed)
     if args.link_faults:
         topo = inject_link_faults(topo, args.link_faults, rng)
@@ -319,12 +329,26 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     import json
 
-    try:
-        width, height = (int(v) for v in args.mesh.lower().split("x"))
-    except ValueError:
-        print(f"bad --mesh {args.mesh!r}; expected WxH (e.g. 8x8)", file=sys.stderr)
-        return 2
-    topo = mesh(width, height)
+    if args.topology:
+        from repro.topology.generators import parse_topology
+
+        try:
+            topo = parse_topology(args.topology)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        width = getattr(topo, "width", 8)
+        height = getattr(topo, "height", 8)
+    else:
+        try:
+            width, height = (int(v) for v in args.mesh.lower().split("x"))
+        except ValueError:
+            print(
+                f"bad --mesh {args.mesh!r}; expected WxH (e.g. 8x8)",
+                file=sys.stderr,
+            )
+            return 2
+        topo = mesh(width, height)
     rng = random.Random(args.seed)
     if args.link_faults:
         topo = inject_link_faults(topo, args.link_faults, rng)
@@ -334,6 +358,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     kwargs = {}
     if args.drop_bubble:
+        if args.topology:
+            # The X,Y addressing (and the closed-form placement it edits)
+            # only exists on the 2D mesh.
+            print("--drop-bubble requires a 2D mesh (--mesh)", file=sys.stderr)
+            return 2
         if args.scheme not in ("static-bubble", "adaptive"):
             # Both run the Static Bubble placement; every other scheme
             # has no bubbles to drop.
@@ -497,6 +526,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="run one simulation")
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--height", type=int, default=8)
+    p.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help="non-mesh topology (mesh3d:XxYxZ, torus3d:XxYxZ, "
+        "circulant:N,S1,S2, fullmesh:N); overrides --width/--height",
+    )
     p.add_argument("--link-faults", type=int, default=0)
     p.add_argument("--router-faults", type=int, default=0)
     p.add_argument("--scheme", choices=sorted(SCHEMES), default="static-bubble")
@@ -550,6 +586,13 @@ def build_parser() -> argparse.ArgumentParser:
         "certificate; optionally the protocol model check)",
     )
     p.add_argument("--mesh", default="8x8", help="mesh dimensions, WxH")
+    p.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help="non-mesh topology (mesh3d:XxYxZ, torus3d:XxYxZ, "
+        "circulant:N,S1,S2, fullmesh:N); overrides --mesh",
+    )
     p.add_argument("--scheme", choices=sorted(SCHEMES), default="static-bubble")
     p.add_argument("--link-faults", type=int, default=0)
     p.add_argument("--router-faults", type=int, default=0)
@@ -651,6 +694,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--url", default="http://127.0.0.1:8765")
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--height", type=int, default=8)
+    p.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help="non-mesh topology (mesh3d:XxYxZ, torus3d:XxYxZ, "
+        "circulant:N,S1,S2, fullmesh:N); overrides --width/--height",
+    )
     p.add_argument("--link-faults", type=int, default=0)
     p.add_argument("--router-faults", type=int, default=0)
     p.add_argument("--scheme", choices=sorted(SCHEMES), default="static-bubble")

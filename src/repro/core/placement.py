@@ -111,6 +111,60 @@ def uncovered_cycles(
     return [cycle for cycle in cycles if not covers_cycle(cycle)]
 
 
+def greedy_cycle_cover(topo) -> List[int]:
+    """Static-bubble placement for an arbitrary graph topology.
+
+    Greedy feedback-vertex-set construction on the *underlying*
+    (unfaulted) graph: repeatedly strip degree-<=1 nodes (the 2-core
+    peel), then take the highest-degree survivor (ties to the lowest
+    id) into the cover and peel again, until nothing survives.  The
+    residual graph is a forest, and a closed non-backtracking walk —
+    the projection of any u-turn-free CDG cycle — cannot live in a
+    forest, so every such cycle passes through the cover.  That is
+    exactly the coverage property the mesh placement provides, and it
+    is machine-checked post-hoc by
+    :func:`repro.verify.certify.certify_cycle_cover` over the
+    turn-closure CDG.
+
+    Computing on the underlying graph (ignoring deactivated nodes and
+    links) keeps the placement stable under faults and live
+    reconfiguration, mirroring the paper's design-time placement.
+    """
+    from collections import deque
+
+    adj: dict = {u: set() for u in topo.all_nodes()}
+    for link in topo.all_links():
+        u, v = tuple(link)
+        adj[u].add(v)
+        adj[v].add(u)
+    alive = set(adj)
+
+    def peel() -> None:
+        queue = deque(u for u in alive if len(adj[u]) <= 1)
+        while queue:
+            u = queue.popleft()
+            if u not in alive:
+                continue
+            alive.discard(u)
+            for v in adj[u]:
+                adj[v].discard(u)
+                if v in alive and len(adj[v]) <= 1:
+                    queue.append(v)
+            adj[u] = set()
+
+    cover: List[int] = []
+    peel()
+    while alive:
+        best = max(alive, key=lambda n: (len(adj[n]), -n))
+        cover.append(best)
+        alive.discard(best)
+        for v in adj[best]:
+            adj[v].discard(best)
+        adj[best] = set()
+        peel()
+    return sorted(cover)
+
+
 def placement_map(width: int, height: int) -> str:
     """ASCII map of the placement (``B`` = static bubble router, ``.`` = plain).
 

@@ -107,7 +107,7 @@ class EnergyModel:
         )
 
         cycles = stats.cycles
-        base_buffers = 5 * config.vcs_per_port()
+        base_buffers = network.topo.num_ports * config.vcs_per_port()
         total_buffers = 0
         for node in network.routers:
             total_buffers += base_buffers + scheme.extra_vcs_per_router(node, config)

@@ -16,6 +16,7 @@ from repro.experiments import (
     fig12_rodinia,
     fig13_parsec,
     table1_cost,
+    topo_sweep,
 )
 
 ALL_EXPERIMENTS = {
@@ -28,6 +29,7 @@ ALL_EXPERIMENTS = {
     "fig12": fig12_rodinia,
     "fig13": fig13_parsec,
     "table1": table1_cost,
+    "topo": topo_sweep,
     "chaos": chaos,
 }
 
@@ -43,4 +45,5 @@ __all__ = [
     "fig12_rodinia",
     "fig13_parsec",
     "table1_cost",
+    "topo_sweep",
 ]

@@ -80,7 +80,8 @@ class Fig12Result:
 
 
 def _app_throughput(topo, workload, scheme_name, params, config, seed) -> float:
-    mcs = default_memory_controllers(params.width, params.height)
+    # MCs relocate off any faulted corner of *this* sample's topology.
+    mcs = default_memory_controllers(params.width, params.height, topo)
     trace = rodinia_trace(
         workload, topo, mcs, duration=params.trace_duration, seed=seed
     )

@@ -116,7 +116,10 @@ def run(params: Fig13Params) -> Fig13Result:
                         topo,
                         workload,
                         scheme,
-                        mcs,
+                        # Per-sample relocation off any faulted corner.
+                        default_memory_controllers(
+                            params.width, params.height, topo
+                        ),
                         config,
                         params.transactions_per_core,
                         params.max_cycles,

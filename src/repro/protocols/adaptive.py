@@ -40,13 +40,10 @@ from repro.protocols.escape_vc import EscapeVcRecovery
 from repro.protocols.static_bubble import StaticBubbleScheme
 from repro.routing.table import RoutingTable
 from repro.sim.config import SimConfig
-from repro.topology.mesh import Topology
+from repro.topology.base import BaseTopology as Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network
-
-#: The sole candidate once the destination is reached (Port.LOCAL).
-_LOCAL_ONLY: Tuple[int, ...] = (4,)
 
 
 class AdaptiveSelectionMixin:
@@ -59,11 +56,15 @@ class AdaptiveSelectionMixin:
 
     #: node -> dst -> ascending tuple of minimal first-hop outports.
     _next_hops: Dict[int, Dict[int, Tuple[int, ...]]]
+    #: The sole candidate once the destination is reached (ejection);
+    #: rebound to the topology's local port by ``build_tables``.
+    _local_only: Tuple[int, ...] = (4,)
 
     def build_tables(
         self, topo: Topology, config: SimConfig
     ) -> Dict[int, RoutingTable]:
         tables = super().build_tables(topo, config)
+        self._local_only = (topo.local_port,)
         next_hops: Dict[int, Dict[int, Tuple[int, ...]]] = {}
         for node, table in tables.items():
             hops: Dict[int, Tuple[int, ...]] = {}
@@ -83,7 +84,7 @@ class AdaptiveSelectionMixin:
         state; the salvage pass drops such packets).
         """
         if dst == node:
-            return _LOCAL_ONLY
+            return self._local_only
         hops = self._next_hops.get(node)
         if hops is None:
             return ()

@@ -23,7 +23,7 @@ from typing import Dict, Sequence, Tuple, TYPE_CHECKING
 from repro.core.messages import SpecialMessage
 from repro.routing.table import RoutingTable, build_minimal_tables
 from repro.sim.config import SimConfig
-from repro.topology.mesh import Topology
+from repro.topology.base import BaseTopology as Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network

@@ -17,12 +17,11 @@ from __future__ import annotations
 
 from typing import Dict, TYPE_CHECKING
 
-from repro.core.turns import Port
 from repro.protocols.base import DeadlockScheme
 from repro.routing.spanning_tree import build_spanning_trees, tree_next_hop_tables
 from repro.routing.table import RoutingTable, build_minimal_tables
 from repro.sim.config import SimConfig
-from repro.topology.mesh import Topology
+from repro.topology.base import BaseTopology as Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network
@@ -39,13 +38,19 @@ class EscapeVcRecovery(DeadlockScheme):
         #: (this is where the throughput loss vs. Static Bubble comes
         #: from).  Set False to *add* escape VCs on top instead.
         self.reserve_existing = reserve_existing
-        self.escape_tables: Dict[int, Dict[int, Port]] = {}
+        self.escape_tables: Dict[int, Dict[int, int]] = {}
         self._t_detect = 34
+        #: Port layout of the last topology tables were built for
+        #: (2D-mesh defaults before the first ``build_tables``).
+        self._local = 4
+        self._num_ports = 5
 
     def build_tables(
         self, topo: Topology, config: SimConfig
     ) -> Dict[int, RoutingTable]:
         self._t_detect = config.escape_t_detect
+        self._local = topo.local_port
+        self._num_ports = topo.num_ports
         # Escape layer: pure tree routing per component.
         self.escape_tables = {}
         for tree in build_spanning_trees(topo):
@@ -61,14 +66,14 @@ class EscapeVcRecovery(DeadlockScheme):
             router.add_escape_vcs(reserve_existing=self.reserve_existing)
             router._escape_lookup = self._lookup
 
-    def _lookup(self, node: int, dst: int) -> Port:
+    def _lookup(self, node: int, dst: int) -> int:
         table = self.escape_tables.get(node)
         if table is None or dst not in table:
             # Destination unreachable from the escape layer (different
             # component after a topology change): eject-and-drop is the
             # only sane hardware behaviour; route tables prevent this in
             # practice because minimal routes exist iff the tree covers.
-            return Port.LOCAL
+            return self._local
         return table[dst]
 
     def on_topology_changed(self, network, added, removed, now):
@@ -110,7 +115,7 @@ class EscapeVcRecovery(DeadlockScheme):
 
     def extra_vcs_per_router(self, node: int, config: SimConfig) -> int:
         # One escape VC per vnet per input port (incl. local), Table I.
-        return 5 * config.vnets
+        return self._num_ports * config.vnets
 
     def verify(self, topo: Topology, config: SimConfig):
         """Certify the escape layer, which carries the freedom claim.

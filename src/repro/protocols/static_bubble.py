@@ -65,9 +65,11 @@ from repro.protocols.base import DeadlockScheme
 #: ``_PORTS[i] is Port(i)`` — avoids the enum-constructor call on hot paths.
 _PORTS = (Port.EAST, Port.NORTH, Port.WEST, Port.SOUTH, Port.LOCAL)
 
-#: ``_TURN[in_port][out_port]`` — ``turn_between`` precomputed; ``None``
-#: for u-turns and local ports (never looked up on the fork path, which
-#: filters those out first).
+#: Mesh default for ``_enc[in_port][out_port]`` — ``turn_between``
+#: precomputed; ``None`` for u-turns and local ports (never looked up on
+#: the fork path, which filters those out first).  Replaced by the
+#: topology's own hop codec at ``setup()``; these module tables only back
+#: schemes that are driven before/without a network (unit tests).
 _TURN = tuple(
     tuple(
         turn_between(_PORTS[i], _PORTS[o])
@@ -128,16 +130,58 @@ class StaticBubbleScheme(DeadlockScheme):
         #: discarded lazily by ``_collect_stale_seals``.  Avoids scanning
         #: every active router every cycle for the seal-GC watchdog.
         self._sealed: set = set()
+        #: Placement actually provisioned at ``setup`` (None before).
+        self._placement: Optional[set] = None
+        self._install_codec(None)
 
     # -- construction -----------------------------------------------------
 
+    def _install_codec(self, topo) -> None:
+        """Bind the per-topology port layout and hop codec.
+
+        ``topo=None`` installs the 2D-mesh defaults (L/R/S relative
+        turns, 5 ports) so a scheme driven without a network — the
+        protocol unit tests construct messages by hand — behaves exactly
+        as before the topology generalization.
+        """
+        if topo is None:
+            self._local = int(Port.LOCAL)
+            self._num_ports = 5
+            self._enc = _TURN
+            self._decode = apply_turn
+            self._probe_capacity = PROBE_TURN_CAPACITY
+            self._port_names = tuple(p.name for p in _PORTS)
+            return
+        self._local = topo.local_port
+        self._num_ports = topo.num_ports
+        local = self._local
+        self._enc = tuple(
+            tuple(
+                topo.encode_hop(i, o)
+                if i < local and o < local and o != i
+                else None
+                for o in range(self._num_ports)
+            )
+            for i in range(self._num_ports)
+        )
+        self._decode = topo.decode_hop
+        self._probe_capacity = topo.probe_hop_capacity()
+        self._port_names = tuple(
+            topo.port_name(p) for p in range(self._num_ports)
+        )
+
+    def _placed_nodes(self, topo) -> set:
+        """The static-bubble node set for ``topo`` (override wins)."""
+        if self.placement_override is not None:
+            return set(self.placement_override)
+        return set(topo.bubble_placement())
+
     def setup(self, network: "Network") -> None:
         config = network.config
+        self._install_codec(network.topo)
         t_dd = self._t_dd_override or config.sb_t_dd
-        if self.placement_override is not None:
-            sb_nodes = set(self.placement_override)
-        else:
-            sb_nodes = placement_node_ids(config.width, config.height)
+        sb_nodes = self._placed_nodes(network.topo)
+        self._placement = sb_nodes
         for router in network.routers.values():
             router._seal_hook = self._sealed.add
         for node, router in network.routers.items():
@@ -172,10 +216,7 @@ class StaticBubbleScheme(DeadlockScheme):
         from repro.verify.cdg import cdg_from_turns
         from repro.verify.certify import certify_cycle_cover
 
-        if self.placement_override is not None:
-            placed = set(self.placement_override)
-        else:
-            placed = placement_node_ids(config.width, config.height)
+        placed = self._placed_nodes(topo)
         cover = placed & set(topo.active_nodes())
         return certify_cycle_cover(
             cdg_from_turns(topo),
@@ -209,10 +250,7 @@ class StaticBubbleScheme(DeadlockScheme):
 
         if added:
             t_dd = self._t_dd_override or config.sb_t_dd
-            if self.placement_override is not None:
-                sb_nodes = set(self.placement_override)
-            else:
-                sb_nodes = placement_node_ids(config.width, config.height)
+            sb_nodes = self._placed_nodes(network.topo)
             provisioned = False
             for node in added:
                 network.routers[node]._seal_hook = self._sealed.add
@@ -276,7 +314,7 @@ class StaticBubbleScheme(DeadlockScheme):
         """
         if fsm.probe_out_port is None:
             return True
-        travel = Port(fsm.probe_out_port)
+        travel = fsm.probe_out_port
         current = node
         turns = fsm.turn_buffer
         for i in range(len(turns) + 1):
@@ -289,7 +327,7 @@ class StaticBubbleScheme(DeadlockScheme):
                 return False
             current = nxt
             if i < len(turns):
-                travel = apply_turn(travel, turns[i])
+                travel = topo.decode_hop(travel, turns[i])
         return True
 
     def attach_obs(self, network: "Network", observer) -> None:
@@ -316,6 +354,9 @@ class StaticBubbleScheme(DeadlockScheme):
     def extra_vcs_per_router(self, node: int, config: SimConfig) -> int:
         if self.placement_override is not None:
             return 1 if node in self.placement_override else 0
+        if self._placement is not None:
+            return 1 if node in self._placement else 0
+        # Design-time query with no network attached: the config's mesh.
         return 1 if node in placement_node_ids(config.width, config.height) else 0
 
     # -- per-cycle FSM driving ---------------------------------------------
@@ -446,7 +487,7 @@ class StaticBubbleScheme(DeadlockScheme):
             # VC, not just the chain port it arrived on (liveness
             # extension of footnote 6; without it a deadlock web whose
             # only SB router carries a stranded resident is unrecoverable).
-            ports = (bubble.port, 0, 1, 2, 3)
+            ports = (bubble.port,) + tuple(range(self._local))
         for port in ports:
             for vc in router.input_vcs[port]:
                 if (
@@ -567,9 +608,9 @@ class StaticBubbleScheme(DeadlockScheme):
         node = router.node
         if action == FsmAction.SEND_PROBE:
             out = self._watched_output(router, state, now)
-            if out is not None and out != Port.LOCAL:
+            if out is not None and out != self._local:
                 # (ejection is never part of a dependence chain)
-                if network.send_special(node, out, make_probe(node, Port(out))):
+                if network.send_special(node, out, make_probe(node, out)):
                     network.stats.probes_sent += 1
             # Liveness clarification of Fig. 5 (DESIGN.md §4): rotate the
             # watch to the next occupied VC after an unsuccessful
@@ -624,12 +665,12 @@ class StaticBubbleScheme(DeadlockScheme):
             self._emit(
                 network, SEAL_INSTALL, node,
                 source=node,
-                in_port=Port(fsm.probe_in_port).name,
-                out_port=Port(fsm.probe_out_port).name,
+                in_port=self._port_names[fsm.probe_in_port],
+                out_port=self._port_names[fsm.probe_out_port],
             )
             self._emit(
                 network, BUBBLE_ACTIVATE, node,
-                in_port=Port(fsm.probe_in_port).name,
+                in_port=self._port_names[fsm.probe_in_port],
             )
             return
         if action == FsmAction.RECOVERY_DONE:
@@ -650,14 +691,14 @@ class StaticBubbleScheme(DeadlockScheme):
 
     def _watched_output(
         self, router: "Router", state: _SbRouterState, now: int
-    ) -> Optional[Port]:
+    ) -> Optional[int]:
         vcs = self._compass_vcs(router)
         if state.watch_index >= len(vcs):
             return None
         packet = vcs[state.watch_index].packet
         if packet is None or packet.pid != state.watched_pid:
             return None
-        return Port(router._requested_output(packet))
+        return router._requested_output(packet)
 
     # -- bubble reclaim hook ----------------------------------------------------
 
@@ -751,7 +792,7 @@ class StaticBubbleScheme(DeadlockScheme):
                 # Own probe back: a dependence cycle is confirmed.  The
                 # probe carries the output port it originally left from.
                 action = state.fsm.on_probe_returned(
-                    msg.turns, Port(in_port), msg.origin_out
+                    msg.turns, in_port, msg.origin_out
                 )
                 if action != FsmAction.NONE:
                     self._dispatch(network, router, state, action, now)
@@ -784,7 +825,7 @@ class StaticBubbleScheme(DeadlockScheme):
                     mtype=msg.mtype.name, sender=msg.sender, reason="port_not_full",
                 )
             return []
-        if len(msg.turns) >= PROBE_TURN_CAPACITY:
+        if len(msg.turns) >= self._probe_capacity:
             self._emit(
                 network, SPECIAL_DROP, router.node,
                 mtype=msg.mtype.name, sender=msg.sender, reason="capacity",
@@ -793,13 +834,14 @@ class StaticBubbleScheme(DeadlockScheme):
         # Union of requested outputs as a bitmask: deterministic ascending
         # fork order (a set of Port members iterates in *name-hash* order,
         # which varies with PYTHONHASHSEED) and no enum hashing.
+        local = self._local
         mask = 0
         for vc in vcs:
             packet = vc.packet
             # _requested_output resolves escape tables, a cached adaptive
             # preference, or the embedded source route as appropriate.
             out = router._requested_output(packet)
-            if out != 4 and out != in_port:  # Port.LOCAL / u-turn
+            if out != local and out != in_port:  # ejection / u-turn
                 mask |= 1 << out
         if not self.fork_probes and mask & (mask - 1):
             # Ablation: no Probe Fork Unit — forward only when the probed
@@ -807,8 +849,7 @@ class StaticBubbleScheme(DeadlockScheme):
             # this misses nested dependency cycles).
             return []
         forwards = []
-        ports = _PORTS
-        row = _TURN[in_port]
+        row = self._enc[in_port]
         mtype = msg.mtype
         sender = msg.sender
         turns = msg.turns
@@ -820,7 +861,7 @@ class StaticBubbleScheme(DeadlockScheme):
                     (
                         out,
                         SpecialMessage(
-                            mtype, sender, turns + (row[out],), ports[out], origin
+                            mtype, sender, turns + (row[out],), out, origin
                         ),
                     )
                 )
@@ -872,7 +913,7 @@ class StaticBubbleScheme(DeadlockScheme):
             return []
         if not msg.turns:
             return []
-        out = apply_turn(msg.travel, msg.turns[0])
+        out = self._decode(msg.travel, msg.turns[0])
         if not router.vc_wants_output(in_port, out, now):
             # The dependence dissolved: drop, sender times out.
             self._emit(
@@ -895,12 +936,12 @@ class StaticBubbleScheme(DeadlockScheme):
             self._emit(
                 network, SEAL_INSTALL, router.node,
                 source=msg.sender,
-                in_port=Port(in_port).name,
-                out_port=Port(out).name,
+                in_port=self._port_names[in_port],
+                out_port=self._port_names[out],
             )
             if state is not None:
                 state.fsm.on_foreign_disable()
-        return [(out, msg.with_head_stripped(Port(out)))]
+        return [(out, msg.with_head_stripped(out))]
 
     def _handle_check_probe(
         self,
@@ -926,14 +967,14 @@ class StaticBubbleScheme(DeadlockScheme):
         # buffer was claimed by another chain (see _handle_disable).
         if not msg.turns:
             return []
-        out = apply_turn(msg.travel, msg.turns[0])
+        out = self._decode(msg.travel, msg.turns[0])
         if not router.vc_wants_output(in_port, out, now):
             self._emit(
                 network, SPECIAL_DROP, router.node,
                 mtype=msg.mtype.name, sender=msg.sender, reason="chain_dissolved",
             )
             return []
-        return [(out, msg.with_head_stripped(Port(out)))]
+        return [(out, msg.with_head_stripped(out))]
 
     def _handle_enable(
         self,
@@ -963,7 +1004,7 @@ class StaticBubbleScheme(DeadlockScheme):
             return []
         if not msg.turns:
             return []
-        out = apply_turn(msg.travel, msg.turns[0])
+        out = self._decode(msg.travel, msg.turns[0])
         # Unlike disables, foreign enables are processed and forwarded even
         # while this SB node runs its own recovery: an enable only touches
         # state whose source-id matches its sender, so it cannot disturb
@@ -978,4 +1019,4 @@ class StaticBubbleScheme(DeadlockScheme):
                 )
                 state.fsm.on_foreign_enable(any_active)
         # Forwarded even on a source-id mismatch (Section IV-B).
-        return [(out, msg.with_head_stripped(Port(out)))]
+        return [(out, msg.with_head_stripped(out))]

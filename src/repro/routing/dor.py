@@ -1,0 +1,62 @@
+"""Dimension-ordered (XYZ) routing on 3D grids.
+
+The 3D analog of :mod:`repro.routing.xy`: resolve the X offset first,
+then Y, then Z.  On a fault-free 3D *mesh* this is minimal and
+deadlock-free (each dimension is an acyclic chain and transitions only
+go X->Y->Z).  On a *torus* plain DOR is cyclic — the wraparound rings
+deadlock without dateline VCs — so the torus generator relies on
+minimal routing plus a recovery scheme instead; :func:`xyz_route`
+therefore always steps the non-wrapping (mesh) way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.routing.paths import Route
+from repro.routing.table import RoutingTable
+from repro.topology.generators import Grid3D
+
+
+def xyz_route(topo: Grid3D, src: int, dst: int) -> Route:
+    """The XYZ dimension-ordered route on the underlying full grid."""
+    sx, sy, sz = topo.coords3(src)
+    dx, dy, dz = topo.coords3(dst)
+    ports: List[int] = []
+    # Port pairs per dimension: 2*d steps +1, 2*d + 1 steps -1.
+    for d, (here, there) in enumerate(((sx, dx), (sy, dy), (sz, dz))):
+        step = 2 * d if there > here else 2 * d + 1
+        ports.extend([step] * abs(there - here))
+    ports.append(topo.local_port)
+    return tuple(ports)
+
+
+def xyz_route_is_usable(topo: Grid3D, src: int, dst: int) -> bool:
+    """True iff the XYZ route only uses active links/routers."""
+    node = src
+    for port in xyz_route(topo, src, dst)[:-1]:
+        nxt = topo.neighbor(node, port)
+        if nxt is None or not topo.link_is_active(node, nxt):
+            return False
+        node = nxt
+    return topo.node_is_active(dst)
+
+
+def build_dor_tables(topo: Grid3D) -> Dict[int, RoutingTable]:
+    """Single-route XYZ tables for every active pair whose route survives.
+
+    Like XY on the 2D mesh, DOR is not applicable once the grid is
+    irregular: pairs whose dimension-ordered route crosses a fault simply
+    get no route (the tests demonstrate the resulting delivery loss,
+    which is the paper's motivation for topology-agnostic schemes).
+    """
+    if topo.wrap:
+        raise ValueError("dimension-ordered routing requires the 3D mesh, not a torus")
+    tables = {node: RoutingTable(node) for node in topo.active_nodes()}
+    for src in topo.active_nodes():
+        for dst in topo.active_nodes():
+            if src == dst:
+                continue
+            if xyz_route_is_usable(topo, src, dst):
+                tables[src].add_route(dst, xyz_route(topo, src, dst))
+    return tables

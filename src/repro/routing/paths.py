@@ -6,8 +6,9 @@ graph, chosen uniformly at random among the available minimal paths at
 injection time (deadlock-prone by design — recovery handles the rest).
 
 A route is a tuple of output ports: element ``i`` is the port taken at
-the ``i``-th router on the path, and the final element is ``Port.LOCAL``
-(ejection at the destination).
+the ``i``-th router on the path, and the final element is the topology's
+local port (ejection at the destination) — ``Port.LOCAL`` on the 2D
+mesh, ``topo.local_port`` in general.
 """
 
 from __future__ import annotations
@@ -15,10 +16,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.turns import Port
-from repro.topology.mesh import Topology
+from repro.topology.base import BaseTopology as Topology
 
-Route = Tuple[Port, ...]
+Route = Tuple[int, ...]
 
 
 def bfs_distances(topo: Topology, source: int) -> Dict[int, int]:
@@ -72,10 +72,10 @@ def minimal_node_paths(
 
 def node_path_to_route(topo: Topology, node_path: Sequence[int]) -> Route:
     """Convert a node path into a port route (ending with ejection)."""
-    ports: List[Port] = []
+    ports: List[int] = []
     for u, v in zip(node_path, node_path[1:]):
         ports.append(topo.port_between(u, v))
-    ports.append(Port.LOCAL)
+    ports.append(topo.local_port)
     return tuple(ports)
 
 
@@ -106,11 +106,12 @@ def route_node_sequence(topo: Topology, src: int, route: Route) -> List[int]:
 
 def route_is_valid(topo: Topology, src: int, dst: int, route: Route) -> bool:
     """Check a route traverses only active links and ends at ``dst``."""
-    if not route or route[-1] != Port.LOCAL:
+    local = topo.local_port
+    if not route or route[-1] != local:
         return False
     node = src
     for port in route[:-1]:
-        if port == Port.LOCAL:
+        if port == local:
             return False
         nxt = topo.neighbor(node, port)
         if nxt is None or not topo.link_is_active(node, nxt):

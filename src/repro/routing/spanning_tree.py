@@ -25,9 +25,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.turns import Port
 from repro.routing.paths import Route, bfs_distances, node_path_to_route
-from repro.topology.mesh import Topology
+from repro.topology.base import BaseTopology as Topology
 
 
 class SpanningTree:
@@ -125,7 +124,7 @@ def updown_route(
     if not (tree.covers(src) and tree.covers(dst)):
         return None
     if src == dst:
-        return (Port.LOCAL,)
+        return (topo.local_port,)
     start = (src, False)
     parent_state: Dict[Tuple[int, bool], Tuple[int, bool]] = {start: start}
     queue = deque([start])
@@ -168,7 +167,7 @@ def updown_route(
 
 def tree_next_hop_tables(
     topo: Topology, tree: SpanningTree
-) -> Dict[int, Dict[int, Port]]:
+) -> Dict[int, Dict[int, int]]:
     """Per-router next-hop (output port) tables for pure tree routing.
 
     ``tables[node][dst]`` is the output port at ``node`` toward ``dst``
@@ -178,7 +177,7 @@ def tree_next_hop_tables(
     by the escape-VC baseline.
     """
     # For each node, which subtree (child) each destination lives under.
-    tables: Dict[int, Dict[int, Port]] = {n: {} for n in tree.nodes()}
+    tables: Dict[int, Dict[int, int]] = {n: {} for n in tree.nodes()}
 
     # Iterative post-order to avoid recursion limits on long chains.
     subtree: Dict[int, Set[int]] = {}
@@ -195,13 +194,14 @@ def tree_next_hop_tables(
             for child in tree.children.get(node, []):
                 stack.append((child, False))
 
+    local = topo.local_port
     for node in tree.nodes():
         parent = tree.parent[node]
         for dst in tree.nodes():
             if dst == node:
-                tables[node][dst] = Port.LOCAL
+                tables[node][dst] = local
                 continue
-            port: Optional[Port] = None
+            port: Optional[int] = None
             for child in tree.children.get(node, []):
                 if dst in subtree[child]:
                     port = topo.port_between(node, child)

@@ -39,6 +39,12 @@ class SimSpec:
 
     width: int = 8
     height: int = 8
+    #: Optional non-mesh topology as a ``parse_topology`` string
+    #: (``mesh3d:3x3x3``, ``circulant:11,2,5``, ``fullmesh:6``...).
+    #: ``None`` means the classic ``width x height`` mesh, and is omitted
+    #: from :meth:`to_dict` so every pre-existing stored fingerprint is
+    #: unchanged.
+    topology: Optional[str] = None
     #: Faults derived from the healthy mesh with ``random.Random(seed)``
     #: (the same derivation the ``simulate`` CLI uses).
     link_faults: int = 0
@@ -69,13 +75,22 @@ class SimSpec:
             )
         if self.width < 1 or self.height < 1:
             raise ValueError("mesh dimensions must be positive")
+        if self.topology is not None:
+            from repro.topology.generators import parse_topology
+
+            parse_topology(self.topology)  # raises ValueError on bad forms
         if self.warmup < 0 or self.measure < 1:
             raise ValueError("need warmup >= 0 and measure >= 1")
         if not (0.0 <= self.rate <= 1.0):
             raise ValueError("rate must be within [0, 1]")
 
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        if payload.get("topology") is None:
+            # Mesh specs predate the field; omitting it keeps every
+            # previously stored fingerprint valid.
+            payload.pop("topology")
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "SimSpec":
@@ -96,7 +111,12 @@ class SimSpec:
     # -- materialization -------------------------------------------------
 
     def build_topology(self) -> Topology:
-        topo = mesh(self.width, self.height)
+        if self.topology is not None:
+            from repro.topology.generators import parse_topology
+
+            topo = parse_topology(self.topology)
+        else:
+            topo = mesh(self.width, self.height)
         rng = random.Random(self.seed)
         if self.link_faults:
             topo = inject_link_faults(topo, self.link_faults, rng)

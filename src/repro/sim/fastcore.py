@@ -63,7 +63,6 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.messages import SpecialMessage
-from repro.core.turns import OPPOSITE_PORT, Port
 from repro.obs.events import PACKET_TRANSFER
 from repro.sim.network import Network
 from repro.sim.packet import Packet
@@ -72,16 +71,6 @@ from repro.sim.router import Router, VC_BUBBLE, VC_ESCAPE, VC_NORMAL, VirtualCha
 #: Time sentinel: larger than any reachable cycle count, small enough to
 #: survive int64 arithmetic headroom.
 BIG = 1 << 60
-
-#: ``_PORT_NAMES[i] == Port(i).name`` without the enum-constructor call.
-_PORT_NAMES = tuple(Port(i).name for i in range(5))
-
-#: ``OPPOSITE_PORT`` as plain ints: hashing a ``Port`` member inside a
-#: dict-key tuple goes through ``enum.__hash__`` (a Python-level call);
-#: the mirror's ``avail_index`` keys were built with plain ints, so
-#: looking them up with plain ints keeps the whole hash in C.
-_OPP = tuple(int(p) for p in OPPOSITE_PORT)
-
 
 class FastNetwork(Network):
     """Struct-of-arrays engine; constructed via ``Network(..., engine="fast")``."""
@@ -107,6 +96,8 @@ class FastNetwork(Network):
 
     def _build_mirror(self) -> None:
         """(Re)build the slot layout, shadows, and value arrays."""
+        P = self._num_ports
+        local = self._local
         routers = self.routers
         rlist = [routers[node] for node in sorted(routers)]
         self._mrouters: List[Router] = rlist
@@ -133,9 +124,9 @@ class FastNetwork(Network):
             slot_lo = len(slot_vcs)
             alo = len(avail_members)
             local_lo = local_hi = 0
-            for port in range(5):
+            for port in range(P):
                 pstart.append(len(slot_vcs))
-                if port == 4:
+                if port == local:
                     local_lo = len(slot_vcs)
                 for vc in router.input_vcs[port]:
                     key = (rpos, port, vc.kind, vc.vnet)
@@ -152,7 +143,7 @@ class FastNetwork(Network):
                     slot_vcs.append(vc)
                     slot_rpos.append(rpos)
                     slot_port.append(port)
-                if port == 4:
+                if port == local:
                     local_hi = len(slot_vcs)
             if router.bubble is not None:
                 # The bubble gets its own slot with port -1: its attachment
@@ -170,7 +161,7 @@ class FastNetwork(Network):
 
         S = len(slot_vcs)
         C = len(avail_members)
-        L = R * 5  # sentinel link/bubble cell (always unavailable)
+        L = R * P  # sentinel link/bubble cell (always unavailable)
         self._S = S
         self._slot_vcs = slot_vcs
         self._slot_rpos = slot_rpos
@@ -198,7 +189,7 @@ class FastNetwork(Network):
         # class's own (router, port) for normal classes; escape packets
         # never use the bubble).  Inverse map for bubble-side updates.
         self._comb_bub: List[int] = [
-            avail_rpos[c] * 5 + avail_port[c] if avail_kind[c] == VC_NORMAL else -1
+            avail_rpos[c] * P + avail_port[c] if avail_kind[c] == VC_NORMAL else -1
             for c in range(C)
         ]
         bub_combs: List[List[int]] = [[] for _ in range(L)]
@@ -249,7 +240,7 @@ class FastNetwork(Network):
             for ni in self._ni_list:
                 rp = self._rpos.get(ni.node)
                 cells.append(
-                    avail_index.get((rp, 4, VC_NORMAL, 0), C + 1)
+                    avail_index.get((rp, local, VC_NORMAL, 0), C + 1)
                     if rp is not None
                     else C + 1
                 )
@@ -317,13 +308,13 @@ class FastNetwork(Network):
             self._outc_py[i] = self._sent_link
             self._downc_py[i] = self._sent_false
             return
-        self._outc_py[i] = rpos * 5 + out
-        if out == 4:
+        self._outc_py[i] = rpos * self._num_ports + out
+        if out == self._local:
             self._downc_py[i] = self._sent_true
             return
         kind = VC_ESCAPE if packet.is_escape else VC_NORMAL
         self._downc_py[i] = self._avail_index.get(
-            (self._rpos[link.dest_node], _OPP[out], kind, packet.vnet),
+            (self._rpos[link.dest_node], link.dest_in_port, kind, packet.vnet),
             self._sent_false,
         )
 
@@ -360,10 +351,11 @@ class FastNetwork(Network):
             self._sync_slot(i)
         router = self._mrouters[rpos]
         now = self.cycle
-        base = rpos * 5
+        P = self._num_ports
+        base = rpos * P
         lbusy = self._lbusy_py
         tlinks = self._tlinks
-        for port in range(5):
+        for port in range(P):
             cell = base + port
             link = router.output_links[port]
             if link is None:
@@ -383,10 +375,10 @@ class FastNetwork(Network):
             bubble is not None
             and router.bubble_active
             and bubble.packet is None
-            and 0 <= bubble.port <= 4
+            and 0 <= bubble.port <= self._local
         ):
             bub_port = bubble.port
-        for port in range(5):
+        for port in range(P):
             self._bubav_py[base + port] = (
                 bubble.free_at if port == bub_port else BIG
             )
@@ -568,6 +560,9 @@ class FastNetwork(Network):
         tslots = self._tslots
         tlinks = self._tlinks
         tcomb = self._tcomb
+        P = self._num_ports
+        local = self._local
+        port_names = self._port_names
         ready = self._ready_py
         free = self._free_py
         outc = self._outc_py
@@ -590,7 +585,7 @@ class FastNetwork(Network):
                 slots.append(hits[idx])
                 idx += 1
             router = rlist[rpos]
-            pbase = rpos * 5
+            pbase = rpos * P
 
             # -- partition this router's candidates by input port --------
             by_port: Dict[int, List[int]] = {}
@@ -604,7 +599,7 @@ class FastNetwork(Network):
                     if bubble is None:
                         continue
                     p = bubble.port
-                    if not 0 <= p <= 4:
+                    if not 0 <= p <= local:
                         continue
                     k = -1  # resolved to len(vcs) - 1 below
                     saw_bubble = True
@@ -683,7 +678,7 @@ class FastNetwork(Network):
                         continue
                     if restricted and not router.injection_allowed(port, out):
                         continue
-                    if out == 4:  # Port.LOCAL
+                    if out == local:
                         target = None
                     else:
                         # Downstream re-check off the shadow mirror: the
@@ -700,7 +695,7 @@ class FastNetwork(Network):
                             # the shadow may be stale-available, so defer
                             # to the live object scan.
                             target = routers[link.dest_node].free_vc_for(
-                                OPPOSITE_PORT[out], packet, now
+                                link.dest_in_port, packet, now
                             )
                             if target is None:
                                 continue
@@ -730,10 +725,10 @@ class FastNetwork(Network):
             # pointer, then run the transfers in the same order ----------
             if len(requests) == 1:
                 port, vc, packet, out, target, advance = requests[0]
-                router._out_rr[out] = (port + 1) % 5
+                router._out_rr[out] = (port + 1) % P
                 in_rr[port] = advance
                 if adaptive and not packet.is_escape:
-                    router._adapt_rr[port] = (out + 1) % 5
+                    router._adapt_rr[port] = (out + 1) % P
                 winners = requests
             else:
                 by_out: Dict[int, list] = {}
@@ -745,11 +740,11 @@ class FastNetwork(Network):
                         winner = contenders[0]
                     else:
                         rr = router._out_rr[out]
-                        winner = min(contenders, key=lambda c: (c[0] - rr) % 5)
-                    router._out_rr[out] = (winner[0] + 1) % 5
+                        winner = min(contenders, key=lambda c: (c[0] - rr) % P)
+                    router._out_rr[out] = (winner[0] + 1) % P
                     in_rr[winner[0]] = winner[5]
                     if adaptive and not winner[2].is_escape:
-                        router._adapt_rr[winner[0]] = (out + 1) % 5
+                        router._adapt_rr[winner[0]] = (out + 1) % P
                     winners.append(winner)
 
             # -- transfer (``Network._transfer`` fused with the shadow
@@ -819,14 +814,14 @@ class FastNetwork(Network):
                             {
                                 "pid": packet.pid,
                                 "to": dest,
-                                "out": _PORT_NAMES[out],
+                                "out": port_names[out],
                                 "size": size,
                             },
                         )
                     # Mirror: the target slot is now occupied.
                     tidx = target.index
                     j = (
-                        pstart[dpos * 5 + target.port] + tidx
+                        pstart[dpos * P + target.port] + tidx
                         if tidx >= 0
                         else bslot[dpos]
                     )
@@ -849,14 +844,14 @@ class FastNetwork(Network):
                             outc[j] = sent_link
                             downc[j] = sent_false
                         else:
-                            outc[j] = dpos * 5 + out2
-                            if out2 == 4:
+                            outc[j] = dpos * P + out2
+                            if out2 == local:
                                 downc[j] = sent_true
                             else:
                                 downc[j] = avail_index_get(
                                     (
                                         rpos_map[link2.dest_node],
-                                        _OPP[out2],
+                                        link2.dest_in_port,
                                         VC_ESCAPE if escape else VC_NORMAL,
                                         packet.vnet,
                                     ),
@@ -880,7 +875,7 @@ class FastNetwork(Network):
                         tcomb.append(c2)
                     else:
                         # Claimed the downstream static bubble.
-                        self._set_bubav(dpos * 5 + target.port, BIG)
+                        self._set_bubav(dpos * P + target.port, BIG)
                 if vc.kind == VC_BUBBLE:
                     # A drained bubble may leave the port's VC membership
                     # (it is only attached while active or occupied).
@@ -901,7 +896,7 @@ class FastNetwork(Network):
             rpos = self._rpos.get(from_node)
             if rpos is not None:
                 claimed = self.cycle + 1 if self._post_alloc else self.cycle
-                cell = rpos * 5 + out_port
+                cell = rpos * self._num_ports + out_port
                 if claimed + 1 > self._lbusy_py[cell]:
                     self._lbusy_py[cell] = claimed + 1
                     self._tlinks.append(cell)

@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.messages import MsgType, SpecialMessage
-from repro.core.turns import OPPOSITE_PORT, Port
 from repro.obs.events import (
     PACKET_DROP,
     PACKET_REROUTE,
@@ -42,7 +41,7 @@ from repro.sim.ni import NetworkInterface
 from repro.sim.packet import Packet
 from repro.sim.router import Router, VC_BUBBLE, VirtualChannel, OutputLink
 from repro.sim.stats import NetworkStats
-from repro.topology.mesh import Topology
+from repro.topology.base import BaseTopology as Topology
 from repro.utils.rng import spawn_rng
 
 _SPECIAL_STAT_KEY = {
@@ -102,9 +101,17 @@ class Network:
             raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
         self.engine = engine
         config.validate()
-        if (topo.width, topo.height) != (config.width, config.height):
+        if topo.kind == "mesh" and (topo.width, topo.height) != (
+            config.width,
+            config.height,
+        ):
             raise ValueError("topology and config dimensions disagree")
         self.topo = topo
+        #: Port geometry, fixed per topology: ``_local`` is the ejection
+        #: port (the last port index), ``_port_names`` the display names.
+        self._num_ports = topo.num_ports
+        self._local = topo.local_port
+        self._port_names = tuple(topo.port_name(p) for p in range(topo.num_ports))
         self.config = config
         self.scheme = scheme
         self.traffic = traffic
@@ -125,7 +132,9 @@ class Network:
         # Routers for active nodes only.
         self.routers: Dict[int, Router] = {}
         for node in topo.active_nodes():
-            self.routers[node] = Router(node, config.vnets, config.vcs_per_vnet)
+            self.routers[node] = Router(
+                node, config.vnets, config.vcs_per_vnet, self._num_ports
+            )
         self._router_list: List[Router] = list(self.routers.values())
 
         #: Nodes whose router currently holds (or just received) a packet.
@@ -149,9 +158,11 @@ class Network:
         # Output links (ejection link on every router; inter-router links
         # only where the topology is active).
         for node, router in self.routers.items():
-            router.output_links[Port.LOCAL] = OutputLink(None)
+            router.output_links[self._local] = OutputLink(None)
             for direction, neighbor in topo.active_neighbors(node):
-                router.output_links[direction] = OutputLink(neighbor)
+                router.output_links[direction] = OutputLink(
+                    neighbor, topo.arrival_port(node, direction)
+                )
 
         # Routing tables + NIs.
         tables = scheme.build_tables(topo, config)
@@ -238,7 +249,7 @@ class Network:
         self.stats.link_special_cycles[_SPECIAL_STAT_KEY[msg.mtype]] += 1
         arrival = self.cycle + 2
         self._special_arrivals.setdefault(arrival, []).append(
-            (link.dest_node, OPPOSITE_PORT[out_port], msg)
+            (link.dest_node, link.dest_in_port, msg)
         )
         if self.obs is not None:
             self.obs.emit(
@@ -248,7 +259,7 @@ class Network:
                 {
                     "mtype": msg.mtype.name,
                     "sender": msg.sender,
-                    "out": Port(out_port).name,
+                    "out": self._port_names[out_port],
                     "turns": len(msg.turns),
                     "arrival": arrival,
                 },
@@ -272,7 +283,7 @@ class Network:
                         {
                             "mtype": msg.mtype.name,
                             "sender": msg.sender,
-                            "in_port": Port(in_port).name,
+                            "in_port": self._port_names[in_port],
                             "turns": len(msg.turns),
                         },
                     )
@@ -394,7 +405,7 @@ class Network:
                 if self._route_intact(router.node, packet.route, packet.hop):
                     continue
                 if packet.dst == router.node:
-                    packet.route = (Port.LOCAL,)
+                    packet.route = (self._local,)
                 else:
                     packet.route = table.pick_route(packet.dst, self._rng)
                 packet.hop = 0
@@ -457,9 +468,9 @@ class Network:
 
         config = self.config
         for node in new_routers:
-            router = Router(node, config.vnets, config.vcs_per_vnet)
+            router = Router(node, config.vnets, config.vcs_per_vnet, self._num_ports)
             router._wake = self._active_nodes.add
-            router.output_links[Port.LOCAL] = OutputLink(None)
+            router.output_links[self._local] = OutputLink(None)
             self.routers[node] = router
         self.routers = dict(sorted(self.routers.items()))
         self._router_list = list(self.routers.values())
@@ -543,19 +554,21 @@ class Network:
         """
         for node, router in self.routers.items():
             active = {port: peer for port, peer in self.topo.active_neighbors(node)}
-            for port in range(4):
+            for port in range(self._local):
                 peer = active.get(port)
                 if peer is None:
                     router.output_links[port] = None
                 elif router.output_links[port] is None:
-                    router.output_links[port] = OutputLink(peer)
+                    router.output_links[port] = OutputLink(
+                        peer, self.topo.arrival_port(node, port)
+                    )
             # Re-home the arbiters.  Stale round-robin pointers would keep
             # biasing arbitration toward ports that no longer exist after
             # a reconfiguration — and a network rebuilt from the same
             # faulted topology starts from zero, so in-place must too.
-            router._in_rr = [0] * 5
-            router._out_rr = [0] * 5
-            router._adapt_rr = [0] * 5
+            router._in_rr = [0] * self._num_ports
+            router._out_rr = [0] * self._num_ports
+            router._adapt_rr = [0] * self._num_ports
 
     def _rebuild_tables(self) -> Dict[int, RoutingTable]:
         """Re-run the scheme's table construction and swap tables in place."""
@@ -567,9 +580,10 @@ class Network:
     def _route_intact(self, node: int, route: Sequence[int], hop: int) -> bool:
         """Does the remaining source route cross only live links/routers?"""
         topo = self.topo
+        local = self._local
         current = node
         for port in route[hop:]:
-            if port == Port.LOCAL:
+            if port == local:
                 continue  # ejection exists at every live router
             nxt = topo.neighbor(current, port)
             if nxt is None or not topo.link_is_active(current, nxt):
@@ -680,7 +694,9 @@ class Network:
         output_links = router.output_links
         restricted = router.is_deadlock
         adaptive = router._adaptive_lookup is not None
-        for port in range(5):
+        num_ports = self._num_ports
+        local = self._local
+        for port in range(num_ports):
             vcs = vc_cache[port]
             if vcs is None:
                 vcs = router.cached_port_vcs(port)
@@ -715,11 +731,11 @@ class Network:
                     continue
                 if restricted and not router.injection_allowed(port, out):
                     continue
-                if out == 4:  # Port.LOCAL
+                if out == local:
                     target = None
                 else:
                     downstream = routers[link.dest_node]
-                    target = downstream.free_vc_for(OPPOSITE_PORT[out], packet, now)
+                    target = downstream.free_vc_for(link.dest_in_port, packet, now)
                     if target is None:
                         continue
                 requests.append((port, vc, packet, out, target, (start + k + 1) % n))
@@ -738,14 +754,14 @@ class Network:
                 winner = contenders[0]
             else:
                 rr = router._out_rr[out]
-                winner = min(contenders, key=lambda c: (c[0] - rr) % 5)
-            router._out_rr[out] = (winner[0] + 1) % 5
+                winner = min(contenders, key=lambda c: (c[0] - rr) % num_ports)
+            router._out_rr[out] = (winner[0] + 1) % num_ports
             in_rr[winner[0]] = winner[4]
             if adaptive and not winner[2].is_escape:
                 # The adaptive tie-break pointer advances past the port
                 # that just won, like the switch arbiters: grants rotate
                 # preference, losses keep it.
-                router._adapt_rr[winner[0]] = (out + 1) % 5
+                router._adapt_rr[winner[0]] = (out + 1) % num_ports
             self._transfer(router, winner[1], winner[2], out, winner[3], now)
 
     def _adaptive_request(
@@ -782,11 +798,11 @@ class Network:
                 continue
             if restricted and not router.injection_allowed(port, out):
                 continue
-            if out == 4:  # Port.LOCAL
+            if out == router.local:
                 packet.adapt_out = out
                 return out, None
             target = self.routers[link.dest_node].free_vc_for(
-                OPPOSITE_PORT[out], packet, now
+                link.dest_in_port, packet, now
             )
             if target is None:
                 continue
@@ -811,7 +827,7 @@ class Network:
         router.occupancy -= 1
         self.stats.buffer_reads += size
         self.stats.crossbar_flits += size
-        if out == Port.LOCAL:
+        if out == router.local:
             self.nis[router.node].eject(packet, now)
         else:
             self.stats.link_flit_cycles += size
@@ -832,7 +848,7 @@ class Network:
                     {
                         "pid": packet.pid,
                         "to": link.dest_node,
-                        "out": Port(out).name,
+                        "out": self._port_names[out],
                         "size": size,
                     },
                 )

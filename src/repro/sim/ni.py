@@ -12,7 +12,6 @@ import random
 from collections import deque
 from typing import Deque, Optional, TYPE_CHECKING
 
-from repro.core.turns import Port
 from repro.obs.events import PACKET_DROP, PACKET_INJECT, PACKET_REROUTE
 from repro.routing.table import RoutingTable
 from repro.sim.packet import Packet
@@ -79,10 +78,11 @@ class NetworkInterface:
         if not self.queue:
             return False
         packet = self.queue[0]
-        vc = self.router.free_vc_for(Port.LOCAL, packet, now)
+        local = self.router.local
+        vc = self.router.free_vc_for(local, packet, now)
         if vc is None:
             return False
-        if not self.router.injection_allowed(Port.LOCAL, packet.route[0]):
+        if not self.router.injection_allowed(local, packet.route[0]):
             # The local port is sealed out of a deadlocked chain; hold the
             # packet at the NI rather than occupying a VC it cannot leave.
             return False

@@ -2,8 +2,10 @@
 
 Model (Section "DESIGN.md §4"):
 
-* 5 ports (E/N/W/S/Local); ``vnets * vcs_per_vnet`` packet-deep VCs per
-  input port (virtual cut-through).
+* ``radix + 1`` ports — the topology's network ports plus the local
+  injection/ejection port (E/N/W/S/Local on the 2D mesh, whose port
+  count of 5 is the default); ``vnets * vcs_per_vnet`` packet-deep VCs
+  per input port (virtual cut-through).
 * 1-cycle router + 1-cycle link: a packet granted the switch at cycle
   ``t`` becomes switchable at the downstream router at ``t + 2``; its
   tail occupies the upstream VC and the link for ``size`` cycles.
@@ -18,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.core.turns import OPPOSITE_PORT, Port
+from repro.core.turns import Port
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -54,17 +56,22 @@ class VirtualChannel:
 
     def __repr__(self) -> str:
         kind = {VC_NORMAL: "N", VC_ESCAPE: "E", VC_BUBBLE: "B"}[self.kind]
-        return f"VC(p={Port(self.port).name},i={self.index},{kind},pkt={self.packet})"
+        name = Port(self.port).name if 0 <= self.port < 5 else str(self.port)
+        return f"VC(p={name},i={self.index},{kind},pkt={self.packet})"
 
 
 class OutputLink:
     """The unidirectional channel behind one output port."""
 
-    __slots__ = ("dest_node", "busy_until", "special_blocked_at")
+    __slots__ = ("dest_node", "dest_in_port", "busy_until", "special_blocked_at")
 
-    def __init__(self, dest_node: Optional[int]):
+    def __init__(self, dest_node: Optional[int], dest_in_port: int = -1):
         #: Downstream router id; ``None`` for the ejection (local) port.
         self.dest_node = dest_node
+        #: Input port at the downstream router this link feeds — the
+        #: per-edge generalization of the mesh's ``OPPOSITE_PORT`` table
+        #: (-1 for the ejection port).
+        self.dest_in_port = dest_in_port
         self.busy_until = 0
         #: Cycle in which a special message claimed this link (flits lose
         #: switch arbitration for that cycle, paper footnote 10).
@@ -75,28 +82,33 @@ class OutputLink:
 
 
 class Router:
-    """One mesh router."""
+    """One router (any topology; the 2D mesh's 5 ports are the default)."""
 
-    def __init__(self, node: int, vnets: int, vcs_per_vnet: int) -> None:
+    def __init__(
+        self, node: int, vnets: int, vcs_per_vnet: int, num_ports: int = 5
+    ) -> None:
         self.node = node
         self.vnets = vnets
         self.vcs_per_vnet = vcs_per_vnet
+        #: Ports including local; ``local`` is always the last port index.
+        self.num_ports = num_ports
+        self.local = num_ports - 1
         #: input_vcs[port] -> list of VirtualChannel (normal, then escape).
-        self.input_vcs: List[List[VirtualChannel]] = [[] for _ in range(5)]
-        for port in range(5):
+        self.input_vcs: List[List[VirtualChannel]] = [[] for _ in range(num_ports)]
+        for port in range(num_ports):
             for vnet in range(vnets):
                 for i in range(vcs_per_vnet):
                     self.input_vcs[port].append(
                         VirtualChannel(port, len(self.input_vcs[port]), vnet)
                     )
         #: output_links[port] -> OutputLink or None when no active link.
-        self.output_links: List[Optional[OutputLink]] = [None] * 5
+        self.output_links: List[Optional[OutputLink]] = [None] * num_ports
         #: Round-robin pointers for input-side and output-side arbiters.
-        self._in_rr = [0] * 5
-        self._out_rr = [0] * 5
+        self._in_rr = [0] * num_ports
+        self._out_rr = [0] * num_ports
         #: Per-input-port round-robin pointer breaking credit ties in the
         #: adaptive outport selection (unused by deterministic schemes).
-        self._adapt_rr = [0] * 5
+        self._adapt_rr = [0] * num_ports
         #: Number of packets resident in this router (fast idle skip).
         self._occupancy = 0
         #: Wake hook installed by the owning network: called with this
@@ -107,7 +119,7 @@ class Router:
         #: Lazily built ``tuple(port_vcs(port))`` per port; invalidated on
         #: bubble activation/deactivation, bubble drain, and escape-VC
         #: provisioning — the only events that change VC membership.
-        self._vc_cache: List[Optional[Tuple[VirtualChannel, ...]]] = [None] * 5
+        self._vc_cache: List[Optional[Tuple[VirtualChannel, ...]]] = [None] * num_ports
         #: Membership-change hook installed by a fast engine: called with
         #: this router's node id from ``invalidate_vc_cache`` so mirrored
         #: state can be resynchronized lazily.
@@ -159,7 +171,7 @@ class Router:
     def invalidate_vc_cache(self) -> None:
         """Drop the cached per-port VC tuples (bubble/provisioning change)."""
         cache = self._vc_cache
-        for port in range(5):
+        for port in range(self.num_ports):
             cache[port] = None
         if self._dirty_hook is not None:
             self._dirty_hook(self.node)
@@ -174,7 +186,7 @@ class Router:
 
     def _rebuild_class_index(self) -> None:
         self._class_vcs = []
-        for port in range(5):
+        for port in range(self.num_ports):
             by_class: Dict[Tuple[int, int], List[VirtualChannel]] = {}
             for vc in self.input_vcs[port]:
                 by_class.setdefault((vc.kind, vc.vnet), []).append(vc)
@@ -182,7 +194,7 @@ class Router:
                 {key: tuple(vcs) for key, vcs in by_class.items()}
             )
         self.compass_vcs = tuple(
-            vc for port in range(4) for vc in self.input_vcs[port]
+            vc for port in range(self.num_ports - 1) for vc in self.input_vcs[port]
         )
 
     # -- construction helpers ---------------------------------------------
@@ -195,7 +207,7 @@ class Router:
         normal VC of each vnet is converted into the escape VC, so normal
         traffic sees one VC less.  Otherwise an extra VC is appended.
         """
-        for port in range(5):
+        for port in range(self.num_ports):
             if reserve_existing:
                 converted = set()
                 for vc in reversed(self.input_vcs[port]):
@@ -336,7 +348,7 @@ class Router:
             if out >= 0:
                 return out
             candidates = self._adaptive_lookup(self.node, packet.dst)
-            return candidates[0] if candidates else int(Port.LOCAL)
+            return candidates[0] if candidates else self.local
         return packet.route[packet.hop]
 
     # -- adaptive outport selection ----------------------------------------
@@ -356,7 +368,7 @@ class Router:
             return 0
         downstream = routers[link.dest_node]
         credits = 0
-        in_port = OPPOSITE_PORT[out]
+        in_port = link.dest_in_port
         for vc in downstream._class_vcs[in_port].get((VC_NORMAL, vnet), ()):
             if vc.packet is None and now >= vc.free_at:
                 credits += 1
@@ -385,7 +397,7 @@ class Router:
             scored.append(
                 (
                     -self.downstream_credits(out, packet.vnet, routers, now),
-                    (out - rr) % 5,
+                    (out - rr) % self.num_ports,
                     out,
                 )
             )

@@ -201,8 +201,38 @@ def sample_topologies(
         )
 
 
-def default_memory_controllers(width: int, height: int) -> List[int]:
-    """Corner-node memory controllers (the usual 4-MC 8x8 configuration)."""
+def default_memory_controllers(
+    width: int, height: int, topo: Optional[Topology] = None
+) -> List[int]:
+    """Corner-node memory controllers (the usual 4-MC 8x8 configuration).
+
+    Without ``topo`` this is the design-time placement: the four grid
+    corners of a healthy ``width`` x ``height`` mesh.  With ``topo`` (the
+    caller's possibly faulted instance), each corner MC relocates to the
+    nearest *active* router (Manhattan distance to the corner, ties to
+    the lower node id), never reusing a node — an MC pinned to a dead
+    corner router would make every request to it undeliverable.
+    """
     corners = [(0, 0), (width - 1, 0), (0, height - 1), (width - 1, height - 1)]
-    topo = mesh(width, height)
-    return [topo.node_id(x, y) for x, y in corners]
+    base = mesh(width, height)
+    if topo is None:
+        return [base.node_id(x, y) for x, y in corners]
+    active = sorted(topo.active_nodes())
+    if len(active) < len(corners):
+        raise ValueError(
+            f"need {len(corners)} active routers for memory controllers, "
+            f"topology has {len(active)}"
+        )
+    chosen: List[int] = []
+    taken: set = set()
+    for cx, cy in corners:
+        best = min(
+            (n for n in active if n not in taken),
+            key=lambda n: (
+                abs(topo.coords(n)[0] - cx) + abs(topo.coords(n)[1] - cy),
+                n,
+            ),
+        )
+        chosen.append(best)
+        taken.add(best)
+    return chosen

@@ -4,19 +4,33 @@ A :class:`Topology` always starts from an underlying ``width x height``
 mesh (the design-time substrate of the paper) from which routers and
 links can be deactivated — modelling design-time heterogeneity, faults,
 or power-gating.  Node ids are ``y * width + x``.
+
+The mesh is one generator of the :class:`repro.topology.base.BaseTopology`
+graph interface (see :mod:`repro.topology.generators` for the others);
+its network ports coincide numerically with the compass :class:`Port`
+enum, its opposite-port relation is the classic ``OPPOSITE_PORT`` table,
+and its probe hop codec is the paper's 2-bit relative-turn encoding.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.core.turns import DELTA, DIRECTIONS, Port
+from repro.core.turns import (
+    DELTA,
+    DIRECTIONS,
+    OPPOSITE_PORT,
+    Port,
+    apply_turn,
+    turn_between,
+)
+from repro.topology.base import BaseTopology, _require_spec_fields, register_topology
 
 Coord = Tuple[int, int]
 Link = FrozenSet[int]
 
 
-class Topology:
+class Topology(BaseTopology):
     """A (possibly irregular) topology derived from an n x m mesh.
 
     Links are bidirectional: deactivating a link removes both channel
@@ -24,6 +38,9 @@ class Topology:
     unidirectional failures a la uDIREC can be modelled by composing two
     topologies but are not needed to reproduce the results).
     """
+
+    kind = "mesh"
+    radix = 4
 
     def __init__(self, width: int, height: int) -> None:
         if width < 1 or height < 1:
@@ -55,63 +72,6 @@ class Topology:
         if not (0 <= node < self.num_nodes):
             raise ValueError(f"node {node} outside mesh")
         return node % self.width, node // self.width
-
-    def all_nodes(self) -> Iterator[int]:
-        return iter(range(self.num_nodes))
-
-    def all_links(self) -> Iterator[Link]:
-        return iter(self._link_active)
-
-    # -- activation state -----------------------------------------------
-
-    def node_is_active(self, node: int) -> bool:
-        return self._node_active[node]
-
-    def link_is_active(self, u: int, v: int) -> bool:
-        """True iff the u-v link and both endpoints are active."""
-        link = frozenset((u, v))
-        if link not in self._link_active:
-            return False
-        return (
-            self._link_active[link]
-            and self._node_active[u]
-            and self._node_active[v]
-        )
-
-    def deactivate_node(self, node: int) -> None:
-        self._node_active[node] = False
-
-    def activate_node(self, node: int) -> None:
-        self._node_active[node] = True
-
-    def deactivate_link(self, u: int, v: int) -> None:
-        link = frozenset((u, v))
-        if link not in self._link_active:
-            raise ValueError(f"no mesh link between {u} and {v}")
-        self._link_active[link] = False
-
-    def activate_link(self, u: int, v: int) -> None:
-        link = frozenset((u, v))
-        if link not in self._link_active:
-            raise ValueError(f"no mesh link between {u} and {v}")
-        self._link_active[link] = True
-
-    def active_nodes(self) -> List[int]:
-        return [n for n in self.all_nodes() if self._node_active[n]]
-
-    def active_links(self) -> List[Link]:
-        return [
-            link
-            for link, on in self._link_active.items()
-            if on and all(self._node_active[n] for n in link)
-        ]
-
-    def num_faulty_links(self) -> int:
-        """Links explicitly deactivated (not counting router-induced loss)."""
-        return sum(1 for on in self._link_active.values() if not on)
-
-    def num_faulty_nodes(self) -> int:
-        return sum(1 for on in self._node_active if not on)
 
     # -- adjacency -------------------------------------------------------
 
@@ -145,6 +105,35 @@ class Topology:
                 return direction
         raise ValueError(f"nodes {u} and {v} are not mesh-adjacent")
 
+    def arrival_port(self, node: int, out_port: int) -> Port:
+        """Mesh specialization: arrival port is the global opposite."""
+        return OPPOSITE_PORT[out_port]
+
+    # -- graph-interface specializations ---------------------------------
+
+    def port_name(self, port: int) -> str:
+        return Port(port).name
+
+    def describe_node(self, node: int) -> str:
+        x, y = self.coords(node)
+        return f"({x},{y})"
+
+    def describe(self) -> str:
+        return f"{self.width}x{self.height} mesh"
+
+    def encode_hop(self, in_port: int, out_port: int) -> int:
+        """The paper's codec: a 2-bit turn relative to the travel frame."""
+        return int(turn_between(Port(in_port), Port(out_port)))
+
+    def decode_hop(self, travel: int, code: int) -> int:
+        return int(apply_turn(travel, code))
+
+    def bubble_placement(self) -> List[int]:
+        """The paper's closed-form Section III placement."""
+        from repro.core.placement import placement_node_ids
+
+        return sorted(placement_node_ids(self.width, self.height))
+
     def copy(self) -> "Topology":
         clone = Topology(self.width, self.height)
         clone._node_active = list(self._node_active)
@@ -160,25 +149,20 @@ class Topology:
         order, so two topologies constructed by different fault orders
         but ending in the same state serialize identically.
         """
-        return {
-            "width": self.width,
-            "height": self.height,
-            "inactive_nodes": [
-                n for n in self.all_nodes() if not self._node_active[n]
-            ],
-            "inactive_links": sorted(
-                sorted(link) for link, on in self._link_active.items() if not on
-            ),
-        }
+        spec: Dict[str, object] = {"kind": "mesh", "width": self.width, "height": self.height}
+        spec.update(self._fault_spec())
+        return spec
 
     @classmethod
     def from_spec(cls, spec: Dict[str, object]) -> "Topology":
-        """Rebuild a topology from :meth:`to_spec` output."""
+        """Rebuild a topology from :meth:`to_spec` output.
+
+        Legacy (pre-``kind``) mesh specs remain accepted; malformed or
+        cross-version specs fail with a clear ``ValueError``.
+        """
+        _require_spec_fields(spec, "mesh", ("width", "height"), ())
         topo = cls(int(spec["width"]), int(spec["height"]))
-        for node in spec.get("inactive_nodes", ()):
-            topo.deactivate_node(int(node))
-        for u, v in spec.get("inactive_links", ()):
-            topo.deactivate_link(int(u), int(v))
+        topo._apply_fault_spec(spec)
         return topo
 
     def __repr__(self) -> str:
@@ -187,6 +171,9 @@ class Topology:
             f"faulty_nodes={self.num_faulty_nodes()}, "
             f"faulty_links={self.num_faulty_links()})"
         )
+
+
+register_topology("mesh", Topology.from_spec)
 
 
 def mesh(width: int, height: int) -> Topology:

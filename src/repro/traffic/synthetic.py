@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 from repro.traffic.base import PacketSpec, TrafficGenerator
-from repro.topology.mesh import Topology
+from repro.topology.base import BaseTopology as Topology
 from repro.utils.rng import spawn_rng
 
 

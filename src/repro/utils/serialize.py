@@ -44,17 +44,18 @@ class SerializationError(TypeError):
 
 
 def _is_topology(obj: Any) -> bool:
-    from repro.topology.mesh import Topology
+    from repro.topology.base import BaseTopology
 
-    return isinstance(obj, Topology)
+    return isinstance(obj, BaseTopology)
 
 
 def to_jsonable(obj: Any) -> Any:
     """Encode ``obj`` into JSON-native structures, tagging what JSON lacks.
 
     Covers: JSON scalars, lists, tuples, sets/frozensets, dicts (any
-    hashable encodable key), dataclass instances, and
-    :class:`repro.topology.mesh.Topology`.  Raises
+    hashable encodable key), dataclass instances, and any
+    :class:`repro.topology.base.BaseTopology` (via its kind-tagged
+    spec).  Raises
     :class:`SerializationError` for anything else — silently guessing a
     representation would break fingerprint stability.
     """
@@ -144,9 +145,9 @@ def from_jsonable(obj: Any) -> Any:
         fields = {k: from_jsonable(v) for k, v in obj["fields"].items()}
         return cls(**fields)
     if kind == "topology":
-        from repro.topology.mesh import Topology
+        from repro.topology import topology_from_spec
 
-        return Topology.from_spec(obj["spec"])
+        return topology_from_spec(obj["spec"])
     raise SerializationError(f"unknown tag {kind!r}")
 
 

@@ -40,9 +40,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
-from repro.core.turns import OPPOSITE_PORT, Port
 from repro.routing.table import RoutingTable
-from repro.topology.mesh import Topology
+from repro.topology.base import BaseTopology as Topology
 
 #: VC-class layers.  Normal VCs (all minimal-routing schemes) and the
 #: escape-VC scheme's reserved escape layer never hold the same packet,
@@ -125,9 +124,8 @@ class ChannelDependencyGraph:
 def describe_channel(topo: Topology, channel: Channel) -> str:
     """Human-readable channel: ``(x,y).WEST`` style, with layer tag."""
     node, in_port, layer = channel
-    x, y = topo.coords(node)
     tag = "" if layer == LAYER_NORMAL else "/esc"
-    return f"({x},{y}).{Port(in_port).name}{tag}"
+    return f"{topo.describe_node(node)}.{topo.port_name(in_port)}{tag}"
 
 
 def _route_channels(
@@ -136,15 +134,16 @@ def _route_channels(
     """The channel sequence a route's packet occupies (ejection excluded)."""
     channels: List[Channel] = []
     node = src
+    local = topo.local_port
     for port in route:
-        if port == Port.LOCAL:
+        if port == local:
             break
         nxt = topo.neighbor(node, port)
         if nxt is None or not topo.link_is_active(node, nxt):
             raise ValueError(
                 f"route from {src} crosses an inactive link at {node}"
             )
-        channels.append((nxt, OPPOSITE_PORT[port], layer))
+        channels.append((nxt, topo.arrival_port(node, port), layer))
         node = nxt
     return channels
 
@@ -184,7 +183,7 @@ def cdg_from_tables(
 
 def cdg_from_next_hops(
     topo: Topology,
-    next_hops: Dict[int, Dict[int, Port]],
+    next_hops: Dict[int, Dict[int, int]],
     layer: int = LAYER_ESCAPE,
 ) -> ChannelDependencyGraph:
     """CDG of per-router next-hop tables (the escape-VC tree layer).
@@ -195,25 +194,26 @@ def cdg_from_next_hops(
     the simulator's escape lookup routes (``Router._requested_output``).
     """
     cdg = ChannelDependencyGraph(topo, source="next_hops")
+    local = topo.local_port
     for node, table in next_hops.items():
         for dst, out in table.items():
-            if out == Port.LOCAL:
+            if out == local:
                 continue
             nxt = topo.neighbor(node, out)
             if nxt is None or not topo.link_is_active(node, nxt):
                 raise ValueError(
                     f"next-hop table at {node} crosses an inactive link"
                 )
-            here = (nxt, OPPOSITE_PORT[out], layer)
+            here = (nxt, topo.arrival_port(node, out), layer)
             cdg.add_channel(here)
             then = next_hops.get(nxt, {}).get(dst)
-            if then is not None and then != Port.LOCAL:
+            if then is not None and then != local:
                 nxt2 = topo.neighbor(nxt, then)
                 if nxt2 is None or not topo.link_is_active(nxt, nxt2):
                     raise ValueError(
                         f"next-hop table at {nxt} crosses an inactive link"
                     )
-                cdg.add_edge(here, (nxt2, OPPOSITE_PORT[then], layer))
+                cdg.add_edge(here, (nxt2, topo.arrival_port(nxt, then), layer))
     return cdg
 
 
@@ -234,16 +234,16 @@ def cdg_from_turns(
     for node in topo.active_nodes():
         neighbors = dict(topo.active_neighbors(node))
         for in_port in neighbors:
-            # A message from the neighbor in direction ``in_port`` enters
-            # ``node`` through the port of that name (it travels
-            # ``opposite(in_port)``); the channel exists iff the link is
-            # active, which active_neighbors guarantees.
+            # A message from the neighbor behind port ``in_port`` enters
+            # ``node`` through that same port (its arrival port at
+            # ``node``); the channel exists iff the link is active, which
+            # active_neighbors guarantees.
             here = (node, in_port, layer)
             cdg.add_channel(here)
             for out_dir, downstream in neighbors.items():
                 if out_dir == in_port:
                     continue  # u-turn
                 cdg.add_edge(
-                    here, (downstream, OPPOSITE_PORT[out_dir], layer)
+                    here, (downstream, topo.arrival_port(node, out_dir), layer)
                 )
     return cdg

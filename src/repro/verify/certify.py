@@ -27,7 +27,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.topology.mesh import Topology
+from repro.topology.base import BaseTopology as Topology
 from repro.verify.cdg import Channel, ChannelDependencyGraph, describe_channel
 
 Adjacency = Dict[Channel, Set[Channel]]
@@ -183,6 +183,10 @@ class Certificate:
     channels: int
     edges: int
     cyclic_sccs: int
+    #: Human-readable topology description ("8x8 mesh", "C(11; 2,5)"...).
+    #: ``width``/``height`` stay for 2D-mesh compatibility and are 0 for
+    #: topologies without grid dimensions.
+    topology: str = ""
     #: Routers the cover claim relies on (cycle-cover only).
     cover_routers: List[int] = field(default_factory=list)
     #: Failure witness: a dependency cycle as (node, port-name, layer)
@@ -197,6 +201,7 @@ class Certificate:
             "kind": self.kind,
             "scheme": self.scheme,
             "ok": self.ok,
+            "topology": self.topology,
             "width": self.width,
             "height": self.height,
             "faulty_links": self.faulty_links,
@@ -219,10 +224,11 @@ class Certificate:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True, default=str)
 
     def describe(self) -> str:
+        topology = self.topology or f"{self.width}x{self.height} mesh"
         lines = [
             f"certificate: {self.kind} [{self.scheme}] -> "
             + ("OK" if self.ok else "FAIL"),
-            f"  topology: {self.width}x{self.height} mesh, "
+            f"  topology: {topology}, "
             f"{self.faulty_links} faulty links, "
             f"{self.faulty_routers} faulty routers",
             f"  CDG ({self.source}): {self.channels} channels, "
@@ -243,9 +249,9 @@ class Certificate:
 def _witness(
     topo: Topology, cycle: Sequence[Channel]
 ) -> Tuple[List[Tuple[int, str, int]], str]:
-    from repro.core.turns import Port
-
-    triples = [(node, Port(port).name, layer) for node, port, layer in cycle]
+    triples = [
+        (node, topo.port_name(port), layer) for node, port, layer in cycle
+    ]
     text = " -> ".join(describe_channel(topo, c) for c in cycle)
     text += f" -> {describe_channel(topo, cycle[0])}"
     return triples, text
@@ -263,8 +269,9 @@ def certify_acyclic(
         kind="acyclic",
         scheme=scheme,
         ok=not cyclic,
-        width=topo.width,
-        height=topo.height,
+        topology=topo.describe(),
+        width=getattr(topo, "width", 0),
+        height=getattr(topo, "height", 0),
         faulty_links=topo.num_faulty_links(),
         faulty_routers=topo.num_faulty_nodes(),
         source=cdg.source,
@@ -302,8 +309,9 @@ def certify_cycle_cover(
         kind="cycle-cover",
         scheme=scheme,
         ok=not uncovered_cyclic,
-        width=topo.width,
-        height=topo.height,
+        topology=topo.describe(),
+        width=getattr(topo, "width", 0),
+        height=getattr(topo, "height", 0),
         faulty_links=topo.num_faulty_links(),
         faulty_routers=topo.num_faulty_nodes(),
         source=cdg.source,

@@ -138,7 +138,7 @@ def canonical_state(net) -> StateKey:
     for node in sorted(net.routers):
         r = net.routers[node]
         vcs = []
-        for port in range(5):
+        for port in range(r.num_ports):
             for vc in r.input_vcs[port]:
                 vcs.append(
                     (
@@ -160,7 +160,7 @@ def canonical_state(net) -> StateKey:
                 _delta(r.bubble.free_at, now),
             )
         links = []
-        for port in range(5):
+        for port in range(r.num_ports):
             link = r.output_links[port]
             links.append(
                 None
@@ -262,7 +262,9 @@ def snapshot(net) -> Tuple:
             (
                 node,
                 tuple(
-                    _vc_snap(vc) for port in range(5) for vc in r.input_vcs[port]
+                    _vc_snap(vc)
+                    for port in range(r.num_ports)
+                    for vc in r.input_vcs[port]
                 ),
                 None
                 if r.bubble is None
@@ -318,7 +320,7 @@ def restore(net, snap: Tuple) -> None:
         r = net.routers[node]
         occupancy = 0
         it = iter(vcs)
-        for port in range(5):
+        for port in range(r.num_ports):
             for vc in r.input_vcs[port]:
                 occupancy += _vc_restore(vc, next(it))
         if r.bubble is not None:

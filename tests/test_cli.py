@@ -68,6 +68,25 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             main(["simulate", "--scheme", "nope"])
 
+    def test_topology_flag_runs_non_mesh(self, capsys):
+        argv = [
+            "simulate",
+            "--topology", "circulant:11,2,5",
+            "--rate", "0.05",
+            "--warmup", "50", "--cycles", "200",
+            "--verify-first",
+        ]
+        assert main(argv + ["--engine", "reference"]) == 0
+        ref_out = capsys.readouterr().out
+        assert "circulant(n=11,s1=2,s2=5)" in ref_out
+        assert "OK" in ref_out  # the cycle-cover certificate
+        # Both engines stay bit-identical off the mesh too.
+        assert main(argv + ["--engine", "fast"]) == 0
+        assert capsys.readouterr().out == ref_out
+
+    def test_bad_topology_flag_exits_2(self, capsys):
+        assert main(["simulate", "--topology", "klein-bottle:3"]) == 2
+
     def test_engine_flag_fast_matches_reference(self, capsys):
         argv = [
             "simulate",

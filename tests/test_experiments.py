@@ -16,6 +16,7 @@ from repro.experiments import (
     fig12_rodinia,
     fig13_parsec,
     table1_cost,
+    topo_sweep,
 )
 from repro.experiments.common import (
     SCHEME_ORDER,
@@ -127,6 +128,29 @@ class TestFig9:
         sb = result.normalized("link", 8, "static-bubble")
         assert sb >= 1.0
         assert "Fig. 9" in fig9_throughput.report(result)
+
+
+class TestTopoSweep:
+    def test_non_mesh_sweep_certified_and_conserving(self):
+        params = topo_sweep.TopoSweepParams(
+            topologies=["torus3d:3x3x3", "circulant:11,2,5"],
+            rates=[0.05, 0.15],
+            warmup=150,
+            measure=400,
+            workers=1,
+        )
+        result = topo_sweep.run(params)
+        assert result.ok  # every cert OK, zero conservation violations
+        assert all(result.certified.values())
+        assert not result.conservation_violations
+        for spec in params.topologies:
+            for scheme in params.schemes:
+                assert result.saturation(spec, scheme) > 0
+                for rate in params.rates:
+                    assert result.latency[(spec, scheme, rate)] > 0
+        text = topo_sweep.report(result)
+        assert "torus3d:3x3x3" in text
+        assert "packet conservation clean" in text
 
 
 class TestFig10:

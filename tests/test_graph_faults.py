@@ -135,6 +135,43 @@ class TestSampling:
         mcs = default_memory_controllers(8, 8)
         assert sorted(mcs) == [0, 7, 56, 63]
 
+    def test_default_memory_controllers_on_healthy_topo_stay_corners(self):
+        mcs = default_memory_controllers(8, 8, mesh(8, 8))
+        assert sorted(mcs) == [0, 7, 56, 63]
+
+    def test_default_memory_controllers_relocate_off_dead_corners(self):
+        # The bug: MCs used to be corner ids of a fresh healthy mesh,
+        # so a corner-faulted topology got an MC on a dead router.
+        topo = mesh(8, 8)
+        topo.deactivate_node(0)  # corner (0,0)
+        topo.deactivate_node(63)  # corner (7,7)
+        mcs = default_memory_controllers(8, 8, topo)
+        assert len(set(mcs)) == 4
+        assert all(topo.node_is_active(n) for n in mcs)
+        # (0,0) relocates to the nearest active node, ties to the lower
+        # id: (1,0) = 1 beats (0,1) = 8 at Manhattan distance 1.
+        assert mcs[0] == 1
+        # Healthy corners stay put.
+        assert mcs[1] == 7 and mcs[2] == 56
+        # (7,7) -> (7,6) = 55 beats (6,7) = 62.
+        assert mcs[3] == 55
+
+    def test_default_memory_controllers_never_collide(self):
+        # Dead corner whose nearest neighbors are other corners' homes.
+        topo = mesh(3, 3)
+        topo.deactivate_node(8)  # corner (2,2)
+        mcs = default_memory_controllers(3, 3, topo)
+        assert len(set(mcs)) == 4
+        assert all(topo.node_is_active(n) for n in mcs)
+        assert mcs[:3] == [0, 2, 6]
+        assert mcs[3] == 5  # (2,1) beats (1,2) = 7 on id tie-break
+
+    def test_default_memory_controllers_require_enough_routers(self):
+        topo = mesh(2, 2)
+        topo.deactivate_node(3)
+        with pytest.raises(ValueError):
+            default_memory_controllers(2, 2, topo)
+
 
 @given(
     seed=st.integers(min_value=0, max_value=1_000_000),

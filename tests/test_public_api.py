@@ -76,8 +76,9 @@ class TestExperimentRegistry:
                 assert full.samples >= quick.samples, name
 
     def test_registry_covers_every_evaluation_figure(self):
-        # Every evaluation figure/table, plus the chaos robustness harness.
+        # Every evaluation figure/table, plus the chaos robustness harness
+        # and the non-mesh topology sweep.
         assert set(ALL_EXPERIMENTS) == {
             "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "fig13", "table1", "chaos",
+            "fig13", "table1", "chaos", "topo",
         }

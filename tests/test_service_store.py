@@ -47,6 +47,25 @@ class TestFingerprint:
         assert len(fp) == 64
         assert set(fp) <= set("0123456789abcdef")
 
+    def test_mesh_specs_omit_topology_field(self):
+        # Mesh specs predate the ``topology`` field; it must stay out of
+        # their dict form so every stored fingerprint remains valid.
+        base = SimSpec().to_dict()
+        assert "topology" not in base
+        spec = SimSpec(topology="circulant:11,2,5")
+        assert spec.to_dict()["topology"] == "circulant:11,2,5"
+        assert spec_fingerprint(spec.to_dict()) != spec_fingerprint(base)
+        # And the dict form round-trips through from_dict validation.
+        clone = SimSpec.from_dict(spec.to_dict())
+        assert clone.topology == "circulant:11,2,5"
+        assert clone.build_topology().describe() == "circulant(n=11,s1=2,s2=5)"
+
+    def test_bad_topology_spec_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SimSpec.from_dict({**SimSpec().to_dict(), "topology": "hypercube:4"})
+
 
 class TestStoreBasics:
     def test_miss_then_hit(self, store):

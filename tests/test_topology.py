@@ -36,6 +36,18 @@ class TestConstruction:
         with pytest.raises(ValueError):
             topo.coords(16)
 
+    def test_coords_rejects_negative_and_wrapping_ids(self):
+        # Regression: without the bounds check, Python's modular
+        # arithmetic would silently wrap -1 to (width-1, -1) and alias
+        # node_id(-1, 1) onto a real node instead of raising.
+        topo = mesh(5, 3)
+        for bad in (-1, topo.num_nodes, topo.num_nodes + 5):
+            with pytest.raises(ValueError):
+                topo.coords(bad)
+        for x, y in ((-1, 0), (0, -1), (5, 0), (0, 3), (-1, 1)):
+            with pytest.raises(ValueError):
+                topo.node_id(x, y)
+
 
 class TestAdjacency:
     def test_neighbor_directions(self):

@@ -389,6 +389,36 @@ class TestVerifyCli:
 
         assert main(["verify", "--mesh", "8by8"]) == 2
 
+    @pytest.mark.parametrize(
+        "spec,described",
+        [
+            ("mesh3d:3x3x3", "3x3x3 mesh"),
+            ("torus3d:3x3x3", "3x3x3 torus"),
+            ("circulant:11,2,5", "circulant(n=11,s1=2,s2=5)"),
+            ("fullmesh:6", "full_mesh(n=6)"),
+        ],
+    )
+    def test_certify_non_mesh_topologies(self, capsys, spec, described):
+        from repro.cli import main
+
+        assert main(["verify", "--topology", spec]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "cycle-cover" in out
+        assert described in out
+
+    def test_bad_topology_spec_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--topology", "hypercube:4"]) == 2
+
+    def test_drop_bubble_requires_mesh(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["verify", "--topology", "circulant:11,2,5", "--drop-bubble", "1,1"]
+        )
+        assert code == 2
+
     def test_json_output_parses(self, capsys):
         from repro.cli import main
 
