@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Gate: warm surrogate prediction >= 100x faster than cycle-accurate.
+
+The surrogate's reason to exist is answering campaign cells in
+microseconds.  This gate measures the regime campaigns actually run in —
+a calibrated oracle and a warm load profile (the per-(topology, scheme,
+pattern) table walk is paid once per sweep, exactly as ``fan_out``'s
+fast lane amortizes it) — and fails unless per-cell prediction beats one
+cycle-accurate cell by ``SURROGATE_SPEEDUP_MIN`` (default 100x).
+
+Measured on a fig8-style cell (8x8 mesh, 4 link faults, static-bubble,
+uniform random, 150+400 cycles); prediction cost is the mean over a
+rate sweep so no single cached value flatters the number.
+
+Usage::
+
+    python benchmarks/check_surrogate_speedup.py
+    SURROGATE_SPEEDUP_MIN=50 python benchmarks/check_surrogate_speedup.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service.spec import SimSpec, run_sim_spec, spec_identity  # noqa: E402
+from repro.service.store import ResultStore, spec_fingerprint  # noqa: E402
+from repro.surrogate import SurrogateOracle  # noqa: E402
+
+BASE = dict(
+    width=8, height=8, link_faults=4, scheme="static-bubble",
+    pattern="uniform_random", warmup=150, measure=400, seed=3,
+)
+CALIBRATION_RATES = (0.01, 0.02, 0.04)
+PREDICT_ROUNDS = 200
+
+SPEEDUP_MIN = float(os.environ.get("SURROGATE_SPEEDUP_MIN", "100"))
+
+
+def main() -> int:
+    store = ResultStore(root=Path(tempfile.mkdtemp(prefix="repro-surrogate-bench-")))
+    for rate in CALIBRATION_RATES:
+        spec = SimSpec(rate=rate, **BASE)
+        store.put(
+            spec_fingerprint(spec_identity(spec.to_dict())),
+            run_sim_spec(spec.to_dict()),
+        )
+    oracle = SurrogateOracle(store=store)
+    oracle.calibration  # fit before the timed region
+
+    # Exact cost: median of 3 cycle-accurate runs of the same cell.
+    exact_spec = SimSpec(rate=0.02, **BASE).to_dict()
+    exact_times = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        run_sim_spec(exact_spec)
+        exact_times.append(time.perf_counter() - t0)
+    exact = sorted(exact_times)[1]
+
+    # Surrogate cost: warm-profile per-cell prediction, the fan_out
+    # fast-lane regime — one materialized topology shared by the sweep.
+    spec = SimSpec(rate=0.02, **BASE)
+    topo = spec.build_topology()
+    config = spec.build_config()
+    rates = [0.005 + 0.002 * (i % 20) for i in range(PREDICT_ROUNDS)]
+    oracle.predict_cell(topo, spec.scheme, spec.pattern, rates[0], config, 150, 400)
+    t0 = time.perf_counter()
+    for rate in rates:
+        oracle.predict_cell(topo, spec.scheme, spec.pattern, rate, config, 150, 400)
+    per_predict = (time.perf_counter() - t0) / PREDICT_ROUNDS
+
+    speedup = exact / per_predict
+    print(
+        f"exact cell: {exact * 1e3:8.1f} ms   "
+        f"surrogate cell: {per_predict * 1e6:8.1f} us   "
+        f"speedup: {speedup:8.0f}x   (gate >= {SPEEDUP_MIN:g}x)"
+    )
+    if speedup < SPEEDUP_MIN:
+        print(
+            f"FAIL: surrogate only {speedup:.0f}x faster than cycle-accurate "
+            f"(required {SPEEDUP_MIN:g}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print("surrogate speedup gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ that regressed the allocator, etc.).
 
 Usage::
 
-    python benchmarks/export_trajectory.py                 # benchmarks/out/BENCH_<sha>.json
+    python benchmarks/export_trajectory.py                 # ./BENCH_<sha>.json (repo root)
     python benchmarks/export_trajectory.py --out-dir /tmp  # elsewhere
     python benchmarks/export_trajectory.py --engines fast  # subset
 
@@ -97,8 +97,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out-dir",
-        default=str(Path(__file__).resolve().parent / "out"),
-        help="directory for BENCH_<sha>.json (default: benchmarks/out)",
+        # Repo root: CI uploads BENCH_*.json from there, and a checkout's
+        # accumulated documents ARE the perf trajectory.
+        default=str(Path(__file__).resolve().parent.parent),
+        help="directory for BENCH_<sha>.json (default: the repo root)",
     )
     parser.add_argument(
         "--engines",

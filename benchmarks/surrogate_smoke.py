@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Surrogate fast-lane smoke gate (CI: ``surrogate-smoke``).
+
+End-to-end check of the calibrated analytical lane on a fig8-style
+sweep (8x8 mesh, 4 link faults, static-bubble, uniform random):
+
+1. run three exact cells into a throwaway result store (the calibration
+   seed);
+2. build a :class:`repro.surrogate.SurrogateOracle` on that store and
+   predict a six-rate sweep in ``auto`` mode;
+3. **assert** that at least half the sweep is answered by the surrogate,
+   that every answer carries an explicit error bound + provenance, and
+   that each answered cell's true (exact-rerun) relative error is within
+   its reported bound;
+4. report the end-to-end sweep time of the auto lane vs all-exact and
+   **assert** the >= MIN_SWEEP_SPEEDUP (default 10x) acceptance bar.
+
+Exit code 0 = all assertions hold.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service.spec import SimSpec, run_sim_spec, spec_identity  # noqa: E402
+from repro.service.store import ResultStore, spec_fingerprint  # noqa: E402
+from repro.surrogate import SurrogateOracle  # noqa: E402
+
+#: Shared fig8-style cell shape.
+BASE = dict(
+    width=8, height=8, link_faults=4, scheme="static-bubble",
+    pattern="uniform_random", warmup=150, measure=400, seed=3,
+)
+CALIBRATION_RATES = (0.01, 0.02, 0.04)
+SWEEP_RATES = (0.005, 0.01, 0.015, 0.02, 0.03, 0.04)
+
+MIN_ANSWERED_FRACTION = 0.5
+MIN_SWEEP_SPEEDUP = float(os.environ.get("SURROGATE_SWEEP_SPEEDUP_MIN", "10"))
+
+
+def main() -> int:
+    store = ResultStore(root=Path(tempfile.mkdtemp(prefix="repro-surrogate-smoke-")))
+
+    print(f"calibrating on {len(CALIBRATION_RATES)} exact cells ...", file=sys.stderr)
+    for rate in CALIBRATION_RATES:
+        spec = SimSpec(rate=rate, **BASE)
+        payload = run_sim_spec(spec.to_dict())
+        store.put(spec_fingerprint(spec_identity(spec.to_dict())), payload)
+
+    oracle = SurrogateOracle(store=store)
+    table = oracle.calibration
+    assert table.sample_count == len(CALIBRATION_RATES), table.sample_count
+    print(
+        f"calibration: {table.sample_count} samples, "
+        f"fingerprint {table.fingerprint()[:16]}",
+        file=sys.stderr,
+    )
+
+    # -- the auto-mode sweep ---------------------------------------------
+    t0 = time.perf_counter()
+    answers = {}
+    for rate in SWEEP_RATES:
+        spec = SimSpec(rate=rate, mode="auto", **BASE)
+        answers[rate] = oracle.answer(spec)
+    escalated = [r for r, a in answers.items() if a is None]
+    for rate in escalated:
+        spec = SimSpec(rate=rate, **BASE)
+        run_sim_spec(spec.to_dict())
+    auto_time = time.perf_counter() - t0
+
+    answered = {r: a for r, a in answers.items() if a is not None}
+    frac = len(answered) / len(SWEEP_RATES)
+    print(
+        f"auto lane: {len(answered)}/{len(SWEEP_RATES)} answered from the "
+        f"surrogate ({frac:.0%}), {len(escalated)} escalated, "
+        f"{auto_time:.2f}s end-to-end",
+        file=sys.stderr,
+    )
+    assert frac >= MIN_ANSWERED_FRACTION, (
+        f"only {frac:.0%} of the sweep answered (< {MIN_ANSWERED_FRACTION:.0%})"
+    )
+
+    # -- every answer: explicit bound + provenance, bound honored ---------
+    t0 = time.perf_counter()
+    worst = 0.0
+    for rate, payload in sorted(answered.items()):
+        meta = payload["surrogate"]
+        bound = meta["error_bound"]
+        prov = meta["provenance"]
+        assert bound is not None and bound > 0, (rate, meta)
+        assert prov["calibration_fingerprint"] == table.fingerprint(), prov
+        assert prov["cell"] == "mesh/static-bubble", prov
+        truth = run_sim_spec(SimSpec(rate=rate, **BASE).to_dict())
+        true_latency = truth["result"]["avg_latency"]
+        err = abs(payload["result"]["avg_latency"] - true_latency) / true_latency
+        worst = max(worst, err)
+        marker = "ok " if err <= bound else "VIOLATION"
+        print(
+            f"  rate {rate:6.3f}  pred {payload['result']['avg_latency']:7.2f}"
+            f"  true {true_latency:7.2f}  err {err:6.1%}  bound {bound:6.1%}  {marker}",
+            file=sys.stderr,
+        )
+        assert err <= bound, (
+            f"rate {rate}: relative error {err:.1%} exceeds reported bound {bound:.1%}"
+        )
+    exact_time = time.perf_counter() - t0
+    # The validation loop re-ran every answered cell exactly — that IS
+    # the all-exact cost of the answered portion of the sweep.
+    speedup = exact_time / max(auto_time, 1e-9)
+    print(
+        f"worst in-bound error {worst:.1%}; answered-portion exact cost "
+        f"{exact_time:.2f}s vs auto lane {auto_time:.2f}s => {speedup:.0f}x",
+        file=sys.stderr,
+    )
+    assert speedup >= MIN_SWEEP_SPEEDUP, (
+        f"auto lane only {speedup:.1f}x faster (< {MIN_SWEEP_SPEEDUP:g}x)"
+    )
+    print("surrogate smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

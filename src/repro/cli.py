@@ -26,7 +26,11 @@ Commands:
   simulation specs over ``POST /jobs``, get memoized results from the
   content-addressed store, scrape ``GET /metrics``.
 * ``submit`` — client for ``serve``: post one simulation spec (the same
-  knobs as ``simulate``) and optionally wait for the result.
+  knobs as ``simulate``) and optionally wait for the result;
+  ``--mode surrogate|auto`` rides the calibrated analytical fast lane.
+* ``predict`` — answer one spec from the local surrogate
+  (:mod:`repro.surrogate`) without a server: calibrated prediction,
+  explicit error bound, and provenance in milliseconds.
 * ``schemes`` — list the available deadlock-freedom schemes.
 
 ``simulate``, ``experiment``, ``verify``, and ``submit`` all take
@@ -107,6 +111,7 @@ def _simulate_spec_from_args(args: argparse.Namespace) -> "SimSpec":
         seed=args.seed,
         monitor=getattr(args, "monitor", False),
         engine=_resolve_engine_arg(args),
+        mode=getattr(args, "mode", None) or "exact",
     )
 
 
@@ -270,6 +275,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         quiet=args.quiet,
+        record_ttl=args.record_ttl if args.record_ttl > 0 else None,
+        surrogate=not args.no_surrogate,
     )
     print(f"repro service listening on {server.url}")
     print(f"result store: {store.root} (cap {store.max_bytes} bytes)")
@@ -323,6 +330,54 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             ],
         ]
     print(format_table(["field", "value"], rows))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.service.store import ResultStore
+    from repro.surrogate import SurrogateOracle
+
+    store = ResultStore(root=Path(args.store) if args.store else None)
+    oracle = SurrogateOracle(store=store)
+    if args.refresh:
+        oracle.refresh()
+    spec = _simulate_spec_from_args(args)
+    started = time.perf_counter()
+    try:
+        prediction = oracle.predict(spec)
+    except (ValueError, KeyError) as exc:
+        print(f"surrogate cannot model this spec: {exc}", file=sys.stderr)
+        return 1
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+    if args.json:
+        payload = prediction.payload(spec)
+        payload["surrogate"]["predict_ms"] = elapsed_ms
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    bound = prediction.error_bound
+    rows = [
+        ["scheme / pattern", f"{spec.scheme} / {spec.pattern}"],
+        ["offered load (flits/node/cyc)", spec.rate],
+        ["predicted latency (cycles)", f"{prediction.latency:.2f}"],
+        ["predicted thr (flits/node/cyc)", f"{prediction.throughput:.4f}"],
+        ["saturation rate (flits/node/cyc)", f"{prediction.raw.saturation_rate:.4f}"],
+        ["error bound (relative)", f"{bound:.3f}" if bound is not None else "uncalibrated"],
+        ["calibration cell", prediction.provenance["cell"]],
+        ["calibration samples", prediction.provenance["samples"]],
+        ["calibration fingerprint", prediction.provenance["calibration_fingerprint"][:16]],
+        ["prediction time", f"{elapsed_ms:.2f} ms"],
+    ]
+    print(format_table(["field", "value"], rows))
+    if bound is None:
+        print(
+            "\nno calibration support for this cell yet — run exact cells "
+            "into the store (e.g. `repro submit` or `experiment --cached`) "
+            "and retry, or trust nothing."
+        )
     return 0
 
 
@@ -685,6 +740,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logs"
     )
+    p.add_argument(
+        "--record-ttl",
+        type=float,
+        default=3600.0,
+        help="seconds a finished job record stays queryable via GET /jobs "
+        "before pruning (results persist in the store regardless); "
+        "<= 0 keeps records forever",
+    )
+    p.add_argument(
+        "--no-surrogate",
+        action="store_true",
+        help="disable the surrogate fast lane (mode surrogate/auto "
+        "submissions then always simulate)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -718,6 +787,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine the server should run this spec on (excluded from "
         "the spec's cache identity)",
     )
+    p.add_argument(
+        "--mode",
+        choices=("exact", "surrogate", "auto"),
+        default="exact",
+        help="answer lane: exact = always simulate; surrogate = always "
+        "answer from the calibrated analytical model; auto = surrogate "
+        "when its error bound clears the gate, else simulate",
+    )
     p.add_argument("--priority", type=int, default=0)
     p.add_argument(
         "--wait",
@@ -732,6 +809,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="print the raw JSON payload")
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "predict",
+        help="answer one spec from the local calibrated surrogate "
+        "(microsecond analytical model; no server, no simulation)",
+    )
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--height", type=int, default=8)
+    p.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help="non-mesh topology (mesh3d:XxYxZ, torus3d:XxYxZ, "
+        "circulant:N,S1,S2, fullmesh:N); overrides --width/--height",
+    )
+    p.add_argument("--link-faults", type=int, default=0)
+    p.add_argument("--router-faults", type=int, default=0)
+    p.add_argument("--scheme", choices=sorted(SCHEMES), default="static-bubble")
+    p.add_argument("--pattern", default="uniform_random")
+    p.add_argument("--rate", type=float, default=0.05)
+    p.add_argument("--warmup", type=int, default=500)
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--vcs", type=int, default=4, help="VCs per vnet per port")
+    p.add_argument("--t-dd", type=int, default=34, help="SB detection threshold")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--store",
+        default=None,
+        help="result store to calibrate from (default: $REPRO_STORE or "
+        "~/.cache/repro)",
+    )
+    p.add_argument(
+        "--refresh",
+        action="store_true",
+        help="re-harvest the store and refit the calibration table first",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full surrogate payload (result + error bound + "
+        "provenance) as JSON",
+    )
+    p.set_defaults(func=_cmd_predict)
 
     p = sub.add_parser(
         "chaos",

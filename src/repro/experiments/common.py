@@ -128,12 +128,25 @@ def run_synthetic(
 #: content-addressed result store (the CLI's ``experiment --cached``).
 CACHE_ENV_VAR = "REPRO_CACHE"
 
+#: Environment variable selecting the sweep answer lane
+#: (``exact`` | ``surrogate`` | ``auto``) for sweeps that do not pass
+#: one explicitly — the campaign-level twin of ``SimSpec.mode``.
+MODE_ENV_VAR = "REPRO_MODE"
+
 
 def cache_enabled() -> bool:
     """True when ``REPRO_CACHE`` asks sweeps to memoize through the store."""
     return os.environ.get(CACHE_ENV_VAR, "").strip().lower() in (
         "1", "true", "yes", "on",
     )
+
+
+def resolve_mode(mode: Optional[str] = None) -> str:
+    """Explicit argument, else ``REPRO_MODE``, else ``"exact"``."""
+    if mode is not None:
+        return mode
+    env = os.environ.get(MODE_ENV_VAR, "").strip().lower()
+    return env if env in ("exact", "surrogate", "auto") else "exact"
 
 
 def fan_out(
@@ -144,6 +157,8 @@ def fan_out(
     cached: Optional[bool] = None,
     store=None,
     batch_size: Optional[int] = None,
+    mode: Optional[str] = None,
+    predictor: Optional[Callable] = None,
 ) -> List:
     """Run ``func(*args)`` for each args tuple, fanned over worker processes.
 
@@ -168,9 +183,51 @@ def fan_out(
     invocation, so per-process caches (warm routing tables) amortize
     across the batch.  Results are identical either way; progress
     callbacks just fire per batch instead of per cell.
+
+    ``mode``/``predictor`` form the surrogate fast lane.  ``predictor``
+    is called as ``predictor(args, mode)`` for each cell and returns
+    either a result value (the cell is answered in microseconds, never
+    dispatched to a worker) or ``None`` (escalate: the cell runs
+    exactly, like any other).  ``mode`` defaults through ``REPRO_MODE``;
+    ``"exact"`` bypasses the predictor entirely.  Escalated cells keep
+    their ``argslist`` positions, so aggregation code cannot tell the
+    lanes apart.
     """
     if cached is None:
         cached = cache_enabled()
+    mode = resolve_mode(mode)
+    if predictor is not None and mode in ("surrogate", "auto"):
+        total = len(argslist)
+        results: List = [None] * total
+        escalate: List[int] = []
+        for i, args in enumerate(argslist):
+            value = predictor(tuple(args), mode)
+            if value is None:
+                escalate.append(i)
+            else:
+                results[i] = value
+        if progress is not None and total - len(escalate):
+            progress(total - len(escalate), total)
+        if escalate:
+            answered = total - len(escalate)
+
+            def _lane_progress(done: int, _sub_total: int) -> None:
+                if progress is not None:
+                    progress(answered + done, total)
+
+            exact = fan_out(
+                func,
+                [argslist[i] for i in escalate],
+                workers=workers,
+                progress=_lane_progress,
+                cached=cached,
+                store=store,
+                batch_size=batch_size,
+                mode="exact",
+            )
+            for i, value in zip(escalate, exact):
+                results[i] = value
+        return results
     if not cached:
         jobs = [Job(func, tuple(args)) for args in argslist]
         if batch_size is not None:

@@ -77,6 +77,8 @@ class JobRecord:
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     not_before: float = 0.0
+    #: ``time.monotonic()`` when the record reached DONE/FAILED (TTL clock).
+    finished_at: float = 0.0
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -144,6 +146,10 @@ class JobQueue:
         backoff: float = 0.25,
         registry: Optional[MetricsRegistry] = None,
         batch_size: Optional[int] = None,
+        record_ttl: Optional[float] = None,
+        on_executed: Optional[
+            Callable[[Dict[str, Any], Dict[str, Any]], None]
+        ] = None,
     ) -> None:
         self.runner = runner
         self.store = store if store is not None else ResultStore()
@@ -153,6 +159,14 @@ class JobQueue:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        #: Seconds a DONE/FAILED record survives before pruning (the
+        #: result itself lives on in the store; only the in-memory
+        #: bookkeeping dict is bounded).  None = keep forever.
+        self.record_ttl = record_ttl
+        #: Called as ``on_executed(spec, payload)`` after each fresh
+        #: execution persists — outside the queue lock, exceptions
+        #: swallowed (feedback must never wedge the scheduler).
+        self.on_executed = on_executed
         self.registry = registry if registry is not None else self.store.registry
         self._records: Dict[str, JobRecord] = {}
         self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, job_id)
@@ -222,6 +236,7 @@ class JobQueue:
         """
         job_id = spec_fingerprint(spec_identity(spec))
         with self._lock:
+            self._prune_locked()
             record = self._records.get(job_id)
             if record is not None and record.state in (PENDING, RUNNING):
                 self.registry.counter("service.queue.coalesced").inc()
@@ -234,7 +249,7 @@ class JobQueue:
             if payload is not None:
                 record = JobRecord(
                     job_id, dict(spec), priority, state=DONE, cached=True,
-                    result=payload,
+                    result=payload, finished_at=time.monotonic(),
                 )
                 record.done_event.set()
                 self._records[job_id] = record
@@ -255,6 +270,33 @@ class JobQueue:
             self.registry.counter("service.queue.submitted").inc()
             self._lock.notify_all()
             return record, True
+
+    # -- maintenance -----------------------------------------------------
+
+    def _prune_locked(self) -> int:
+        """Drop DONE/FAILED records older than ``record_ttl``.
+
+        Caller holds the lock.  Stale heap entries (retries of a pruned
+        FAILED record) are already tolerated by ``_pop_ready_batch``.
+        """
+        if self.record_ttl is None:
+            return 0
+        cutoff = time.monotonic() - self.record_ttl
+        expired = [
+            job_id
+            for job_id, rec in self._records.items()
+            if rec.state in (DONE, FAILED) and rec.finished_at <= cutoff
+        ]
+        for job_id in expired:
+            del self._records[job_id]
+        if expired:
+            self.registry.counter("service.queue.pruned").inc(len(expired))
+        return len(expired)
+
+    def prune(self) -> int:
+        """Public face of TTL pruning (also runs on submit and batches)."""
+        with self._lock:
+            return self._prune_locked()
 
     # -- scheduler -------------------------------------------------------
 
@@ -308,14 +350,18 @@ class JobQueue:
             outcomes = run_jobs_batched(
                 jobs, workers=self.workers, batch_size=self.batch_size
             )
+            executed: List[Tuple[Dict[str, Any], Dict[str, Any]]] = []
             with self._lock:
                 for record, (status, value) in zip(batch, outcomes):
                     if status == "ok":
                         self.store.put(record.job_id, value)
                         record.result = value
                         record.state = DONE
+                        record.finished_at = time.monotonic()
                         record.done_event.set()
                         self.registry.counter("service.queue.executed").inc()
+                        if self.on_executed is not None:
+                            executed.append((record.spec, value))
                         continue
                     record.attempts += 1
                     if record.attempts <= self.retries:
@@ -331,9 +377,18 @@ class JobQueue:
                     else:
                         record.error = value
                         record.state = FAILED
+                        record.finished_at = time.monotonic()
                         record.done_event.set()
                         self.registry.counter("service.queue.failed").inc()
+                self._prune_locked()
                 self._lock.notify_all()
+            # Feedback hooks run outside the lock: a slow (or broken)
+            # observer must not stall submissions or the scheduler.
+            for spec, payload in executed:
+                try:
+                    self.on_executed(spec, payload)  # type: ignore[misc]
+                except Exception:  # noqa: BLE001 — feedback is best-effort
+                    self.registry.counter("service.queue.feedback_error").inc()
 
 
 # -- campaigns -----------------------------------------------------------

@@ -15,9 +15,18 @@ Endpoints:
   queue is at ``max_depth`` — clients are expected to back off.
 * ``GET /jobs/<id>`` — job status; includes the result once done.
 * ``GET /results/<fingerprint>`` — the stored blob, or 404.
+* ``GET /surrogate`` — calibration status of the surrogate fast lane.
 * ``GET /metrics`` — text exposition of the merged metrics registry
-  (store hit/miss, queue counters, live depth/records gauges).
+  (store hit/miss, queue counters, live depth/records/blob gauges).
 * ``GET /healthz`` — liveness: ``{"ok": true, ...}``.
+
+The surrogate fast lane rides ``POST /jobs``: a spec with ``mode``
+``surrogate``/``auto`` may be answered synchronously (``200`` with a
+``surrogate: true`` marker and an explicit error bound) without touching
+the queue or the exact result store; ``auto`` submissions whose
+uncertainty exceeds the gate threshold escalate into the normal queue
+path, and each escalated execution feeds the calibration table via the
+queue's ``on_executed`` hook.
 """
 
 from __future__ import annotations
@@ -98,6 +107,29 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except (ValueError, TypeError) as exc:
             self._send_json(400, {"error": str(exc)})
             return
+        if spec.mode in ("surrogate", "auto") and self.service.oracle is not None:
+            try:
+                payload = self.service.oracle.answer(spec)
+            except (ValueError, KeyError) as exc:
+                # Forced surrogate mode on a spec the model cannot see
+                # (unknown pattern/topology) is a client error, not an
+                # excuse to silently burn simulation time.
+                self._send_json(400, {"error": f"surrogate cannot model spec: {exc}"})
+                return
+            if payload is not None:
+                self._send_json(
+                    200,
+                    {
+                        "status": "done",
+                        "cached": False,
+                        "surrogate": True,
+                        "job_id": fingerprint_for(spec),
+                        "fingerprint": fingerprint_for(spec),
+                        "result": payload,
+                    },
+                )
+                return
+            # Gate said "too uncertain": fall through and simulate.
         try:
             record, _fresh = self.service.queue.submit(spec.to_dict(), priority)
         except QueueFull as exc:
@@ -137,6 +169,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
             )
         elif path == "/metrics":
             self._send_text(200, self.service.render_metrics())
+        elif path == "/surrogate":
+            if self.service.oracle is None:
+                self._send_json(404, {"error": "surrogate lane disabled"})
+            else:
+                self._send_json(200, self.service.oracle.status())
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             record = self.service.queue.get(job_id)
@@ -177,10 +214,17 @@ class ServiceServer:
         timeout: Optional[float] = None,
         retries: int = 1,
         quiet: bool = False,
+        record_ttl: Optional[float] = None,
+        surrogate: bool = True,
     ) -> None:
         self.registry = MetricsRegistry()
         self.store = store if store is not None else ResultStore(registry=self.registry)
         self.store.registry = self.registry
+        self.oracle = None
+        if surrogate:
+            from repro.surrogate import SurrogateOracle
+
+            self.oracle = SurrogateOracle(store=self.store, registry=self.registry)
         self.queue = JobQueue(
             runner=runner,
             store=self.store,
@@ -189,6 +233,8 @@ class ServiceServer:
             timeout=timeout,
             retries=retries,
             registry=self.registry,
+            record_ttl=record_ttl,
+            on_executed=self.oracle.observe if self.oracle is not None else None,
         )
         self.quiet = quiet
         self.httpd = _Httpd((host, port), ServiceHandler)
@@ -254,7 +300,8 @@ class ServiceServer:
 def fingerprint_for(spec: SimSpec) -> str:
     """Fingerprint a spec exactly as ``POST /jobs`` would.
 
-    Execution-only fields (``engine``) are excluded, so submissions that
-    differ only in engine address the same stored result.
+    Execution-only fields (``engine``, ``mode``) are excluded, so
+    submissions that differ only in how they are answered address the
+    same stored result.
     """
     return spec_fingerprint(spec_identity(spec.to_dict()))

@@ -63,6 +63,14 @@ class SimSpec:
     #: bit-identical, so this is *not* part of the spec's result
     #: identity — see :func:`spec_identity`.
     engine: str = "reference"
+    #: Answer lane (``exact`` | ``surrogate`` | ``auto``).  ``exact``
+    #: always simulates; ``surrogate`` always answers from the
+    #: calibrated analytical model (:mod:`repro.surrogate`); ``auto``
+    #: answers from the surrogate only when its reported error bound is
+    #: under the gate threshold, else escalates to simulation.  Like
+    #: ``engine``, this selects *how* an answer is produced, not *what*
+    #: the spec identifies — it is stripped from fingerprints.
+    mode: str = "exact"
 
     def validate(self) -> None:
         if self.scheme not in SCHEMES:
@@ -72,6 +80,10 @@ class SimSpec:
         if self.engine not in ("reference", "fast"):
             raise ValueError(
                 f"unknown engine {self.engine!r}; have ('reference', 'fast')"
+            )
+        if self.mode not in ("exact", "surrogate", "auto"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}; have ('exact', 'surrogate', 'auto')"
             )
         if self.width < 1 or self.height < 1:
             raise ValueError("mesh dimensions must be positive")
@@ -138,7 +150,9 @@ class SimSpec:
 #: Excluded from content-address identity: both engines are bit-identical
 #: (enforced by ``tests/test_fastcore_equivalence.py``), so a fast-engine
 #: submission must hit the cache entry a reference-engine run produced.
-EXECUTION_ONLY_FIELDS = ("engine",)
+#: ``mode`` likewise: an auto-mode submission that escalates must land on
+#: (and later hit) the same stored result an exact submission produces.
+EXECUTION_ONLY_FIELDS = ("engine", "mode")
 
 
 def spec_identity(spec_dict: Dict[str, Any]) -> Dict[str, Any]:

@@ -31,7 +31,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 import repro
 from repro.obs.metrics import MetricsRegistry, proc_registry
@@ -159,6 +159,42 @@ class ResultStore:
     def iter_fingerprints(self) -> Iterator[str]:
         for blob in self._blobs():
             yield blob.stem
+
+    def iter_entries(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Yield every stored ``(fingerprint, payload)`` pair.
+
+        A bulk-read primitive for harvesters (e.g. surrogate
+        calibration): it decodes blobs directly — no LRU touch, no
+        hit/miss counters — so a full scan neither skews cache metrics
+        nor rejuvenates cold entries.  Corrupt blobs are skipped (and
+        counted), matching :meth:`get`'s tolerance.
+        """
+        for blob in self._blobs():
+            try:
+                payload = json.loads(blob.read_bytes())
+            except FileNotFoundError:
+                continue  # concurrent eviction
+            except ValueError:
+                self.registry.counter("service.store.corrupt").inc()
+                continue
+            yield blob.stem, payload
+
+    def query(
+        self, predicate: Callable[[Dict[str, Any]], bool]
+    ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Yield stored entries whose payload satisfies ``predicate``.
+
+        A predicate that raises on an unexpected payload shape is
+        treated as "no match" rather than aborting the scan — stores mix
+        simulation results with campaign manifests and sweep cells.
+        """
+        for fp, payload in self.iter_entries():
+            try:
+                keep = predicate(payload)
+            except Exception:  # noqa: BLE001 — malformed entry: skip
+                continue
+            if keep:
+                yield fp, payload
 
     def _enforce_cap(self) -> None:
         blobs = []

@@ -121,6 +121,14 @@ class NetworkStats:
             "packets_rerouted": self.packets_rerouted,
             "specials_dropped": self.specials_dropped,
             "avg_latency": self.avg_latency,
+            # Energy-model activity counters: stored payloads carrying
+            # these can be re-priced (and surrogate-calibrated) without
+            # re-simulating.
+            "buffer_writes": self.buffer_writes,
+            "buffer_reads": self.buffer_reads,
+            "crossbar_flits": self.crossbar_flits,
+            "link_flit_cycles": self.link_flit_cycles,
+            "link_special_cycles": dict(self.link_special_cycles),
             "probes_sent": self.probes_sent,
             "bubble_activations": self.bubble_activations,
             "recoveries_completed": self.recoveries_completed,

@@ -328,3 +328,86 @@ class TestFanOutCached:
         assert not cache_enabled()
         monkeypatch.setenv(CACHE_ENV_VAR, "1")
         assert cache_enabled()
+
+
+class TestRecordTtl:
+    def test_finished_records_pruned_after_ttl(self, store, tmp_path):
+        with make_queue(store, runner_ok, record_ttl=0.05) as queue:
+            record, _ = queue.submit({"value": 1, "log_dir": str(tmp_path)})
+            queue.wait(record.job_id, timeout=30)
+            assert queue.get(record.job_id) is not None
+            time.sleep(0.1)
+            assert queue.prune() == 1
+            assert queue.get(record.job_id) is None
+        assert store.registry.counters["service.queue.pruned"] == 1
+
+    def test_submit_triggers_pruning(self, store, tmp_path):
+        with make_queue(store, runner_ok, record_ttl=0.05) as queue:
+            record, _ = queue.submit({"value": 2, "log_dir": str(tmp_path)})
+            queue.wait(record.job_id, timeout=30)
+            time.sleep(0.1)
+            queue.submit({"value": 3, "log_dir": str(tmp_path)})
+            assert queue.get(record.job_id) is None
+
+    def test_pruned_spec_resubmits_as_store_hit(self, store, tmp_path):
+        runs = tmp_path / "runs"
+        runs.mkdir()
+        spec = {"value": 4, "log_dir": str(runs)}
+        with make_queue(store, runner_ok, record_ttl=0.05) as queue:
+            record, _ = queue.submit(spec)
+            queue.wait(record.job_id, timeout=30)
+            time.sleep(0.1)
+            queue.prune()
+            # The result outlives the record: resubmission is a store hit,
+            # not a re-execution.
+            record2, fresh = queue.submit(spec)
+            assert not fresh
+            assert record2.state == DONE
+            assert record2.cached
+        assert len(list(runs.iterdir())) == 1
+
+    def test_no_ttl_keeps_records_forever(self, store, tmp_path):
+        with make_queue(store, runner_ok) as queue:
+            record, _ = queue.submit({"value": 5, "log_dir": str(tmp_path)})
+            queue.wait(record.job_id, timeout=30)
+            assert queue.prune() == 0
+            assert queue.get(record.job_id) is not None
+
+    def test_pending_and_running_never_pruned(self, store, tmp_path):
+        queue = make_queue(store, runner_ok, record_ttl=0.0)
+        # Not started: the record stays PENDING indefinitely.
+        record, _ = queue.submit({"value": 6, "log_dir": str(tmp_path)})
+        assert queue.prune() == 0
+        assert queue.get(record.job_id) is not None
+
+
+class TestOnExecuted:
+    def test_hook_sees_fresh_executions_only(self, store, tmp_path):
+        seen = []
+        done = threading.Event()
+
+        def hook(spec, payload):
+            seen.append((dict(spec), dict(payload)))
+            done.set()
+
+        with make_queue(store, runner_ok, on_executed=hook) as queue:
+            spec = {"value": 7, "log_dir": str(tmp_path)}
+            record, _ = queue.submit(spec)
+            queue.wait(record.job_id, timeout=30)
+            assert done.wait(timeout=5)
+            # A warm resubmission is a store hit: the hook must not fire.
+            queue.submit(spec)
+            time.sleep(0.05)
+        assert len(seen) == 1
+        assert seen[0][0]["value"] == 7
+        assert seen[0][1] == {"value": 14}
+
+    def test_broken_hook_does_not_fail_the_job(self, store, tmp_path):
+        def hook(spec, payload):
+            raise RuntimeError("observer exploded")
+
+        with make_queue(store, runner_ok, on_executed=hook) as queue:
+            record, _ = queue.submit({"value": 8, "log_dir": str(tmp_path)})
+            record = queue.wait(record.job_id, timeout=30)
+        assert record.state == DONE
+        assert store.registry.counters["service.queue.feedback_error"] == 1

@@ -123,6 +123,43 @@ class TestStoreBasics:
         assert len(store) == 0
 
 
+class TestQueryApi:
+    def test_iter_entries_round_trips_payloads(self, store):
+        blobs = {spec_fingerprint({"i": i}): {"value": i} for i in range(4)}
+        for fp, payload in blobs.items():
+            store.put(fp, payload)
+        assert dict(store.iter_entries()) == blobs
+
+    def test_iter_entries_skips_corrupt_blob(self, store):
+        good = spec_fingerprint({"i": "good"})
+        bad = spec_fingerprint({"i": "bad"})
+        store.put(good, {"v": 1})
+        store.put(bad, {"v": 2})
+        store.path_for(bad).write_text("{torn")
+        assert dict(store.iter_entries()) == {good: {"v": 1}}
+        assert store.registry.counters["service.store.corrupt"] == 1
+
+    def test_iter_entries_does_not_touch_cache_metrics(self, store):
+        store.put(spec_fingerprint({"i": 0}), {"v": 0})
+        before = dict(store.registry.counters)
+        list(store.iter_entries())
+        after = dict(store.registry.counters)
+        assert before.get("service.store.hit", 0) == after.get("service.store.hit", 0)
+        assert before.get("service.store.miss", 0) == after.get("service.store.miss", 0)
+
+    def test_query_filters_by_predicate(self, store):
+        for i in range(6):
+            store.put(spec_fingerprint({"i": i}), {"value": i})
+        even = dict(store.query(lambda p: p["value"] % 2 == 0))
+        assert sorted(p["value"] for p in even.values()) == [0, 2, 4]
+
+    def test_query_raising_predicate_skips_entry(self, store):
+        store.put(spec_fingerprint({"i": "shaped"}), {"value": 1})
+        store.put(spec_fingerprint({"i": "manifest"}), {"cells": {}})
+        found = dict(store.query(lambda p: p["value"] > 0))  # KeyError on manifest
+        assert [p.get("value") for p in found.values()] == [1]
+
+
 class TestEnvironment:
     def test_env_var_overrides_root(self, tmp_path, monkeypatch):
         monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "custom"))

@@ -1,0 +1,432 @@
+"""Tests for the calibrated analytical fast lane (repro.surrogate).
+
+The accuracy regression calibrates on a handful of real cycle-accurate
+cells (small windows keep the suite fast) and pins the fig8-point error;
+the property tests exercise the raw model's structural guarantees
+(monotonicity, the zero-load hop bound) with no simulation at all.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.spec import SimSpec, run_sim_spec, spec_identity
+from repro.service.store import CODE_SALT, ResultStore, spec_fingerprint
+from repro.sim.config import SimConfig
+from repro.surrogate import SurrogateOracle, synthetic_cell_predictor
+from repro.surrogate.calibrate import (
+    CalibrationTable,
+    Sample,
+    calibrate_from_store,
+    cell_key,
+)
+from repro.surrogate.model import AnalyticalModel, _demand
+from repro.surrogate.uncertainty import (
+    MAX_BOUND_ENV_VAR,
+    UncertaintyGate,
+    support_distance,
+)
+from repro.topology.faults import inject_link_faults
+from repro.topology.mesh import mesh
+
+#: The fig8 cell shape used throughout (small windows, real simulation).
+FIG8 = dict(
+    width=8, height=8, link_faults=4, scheme="static-bubble",
+    pattern="uniform_random", warmup=150, measure=400, seed=3,
+)
+
+
+def _store_exact(store, **overrides):
+    spec = SimSpec(**{**FIG8, **overrides})
+    payload = run_sim_spec(spec.to_dict())
+    store.put(spec_fingerprint(spec_identity(spec.to_dict())), payload)
+    return spec, payload
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(root=tmp_path / "store", registry=MetricsRegistry())
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    """One module-scoped calibrated oracle (3 exact cells, ~1 s)."""
+    import tempfile
+    from pathlib import Path
+
+    store = ResultStore(
+        root=Path(tempfile.mkdtemp(prefix="repro-surrogate-test-")),
+        registry=MetricsRegistry(),
+    )
+    truths = {}
+    for rate in (0.01, 0.02, 0.04):
+        _, payload = _store_exact(store, rate=rate)
+        truths[rate] = payload
+    oracle = SurrogateOracle(store=store, registry=store.registry)
+    oracle.calibration  # force the harvest
+    return oracle, truths
+
+
+class TestDemandModel:
+    def test_uniform_mass_is_one_per_source(self):
+        topo = mesh(4, 4)
+        demand = _demand(topo, "uniform_random")
+        assert len(demand) == 16
+        for dsts in demand.values():
+            assert sum(dsts.values()) == pytest.approx(1.0)
+
+    def test_unknown_pattern_raises(self):
+        with pytest.raises(ValueError):
+            _demand(mesh(4, 4), "tornado")
+
+    def test_transpose_diagonal_sources_inactive(self):
+        demand = _demand(mesh(4, 4), "transpose")
+        diagonal = {mesh(4, 4).node_id(i, i) for i in range(4)}
+        assert diagonal.isdisjoint(demand)
+
+
+class TestRawModelProperties:
+    def test_latency_monotone_in_offered_load(self):
+        """Property: raw latency never decreases as the rate rises."""
+        model = AnalyticalModel()
+        topo = inject_link_faults(mesh(8, 8), 4, random.Random(3))
+        config = SimConfig()
+        rates = [0.002 * i for i in range(1, 120)]  # through saturation
+        latencies = [
+            model.predict_cell(
+                topo, "static-bubble", "uniform_random", r, config, 150, 400
+            ).latency
+            for r in rates
+        ]
+        assert all(b >= a for a, b in zip(latencies, latencies[1:]))
+
+    def test_latency_at_least_zero_load_hop_bound(self):
+        model = AnalyticalModel()
+        topo = mesh(6, 6)
+        config = SimConfig()
+        for scheme in ("static-bubble", "spanning-tree", "escape-vc"):
+            for rate in (0.001, 0.05, 0.3):
+                raw = model.predict_cell(
+                    topo, scheme, "uniform_random", rate, config, 100, 200
+                )
+                assert raw.latency >= raw.hop_bound
+                assert raw.hop_bound > 0
+
+    def test_saturation_rate_finite_and_positive(self):
+        model = AnalyticalModel()
+        raw = model.predict_cell(
+            mesh(6, 6), "static-bubble", "uniform_random", 0.05,
+            SimConfig(), 100, 200,
+        )
+        assert 0 < raw.saturation_rate < float("inf")
+
+    def test_spanning_tree_saturates_earlier_than_minimal(self):
+        """Up/down routing concentrates load near the root, so the model
+        must predict a lower saturation rate than balanced minimal paths
+        (hop counts are near-identical on a healthy mesh — up/down paths
+        are close to minimal — so saturation is the discriminator)."""
+        model = AnalyticalModel()
+        topo = mesh(6, 6)
+        config = SimConfig()
+        tree = model.profile(topo, "spanning-tree", "uniform_random", config)
+        minimal = model.profile(topo, "static-bubble", "uniform_random", config)
+        assert tree.saturation_rate < minimal.saturation_rate
+
+    def test_profile_cache_reused_across_rates(self):
+        model = AnalyticalModel()
+        topo = mesh(4, 4)
+        config = SimConfig()
+        p1 = model.profile(topo, "static-bubble", "uniform_random", config)
+        p2 = model.profile(topo, "static-bubble", "uniform_random", config)
+        assert p1 is p2
+
+
+class TestCalibration:
+    def test_fit_recovers_linear_correction(self):
+        from repro.surrogate.calibrate import _fit_metric
+
+        pairs = [(x, 0.75 * x + 2.0) for x in (5.0, 10.0, 20.0, 40.0)]
+        fit = _fit_metric(pairs)
+        assert fit.scale == pytest.approx(0.75)
+        assert fit.offset == pytest.approx(2.0)
+        assert fit.residual == pytest.approx(0.05)  # floored, not zero
+
+    def test_fit_scale_stays_positive(self):
+        from repro.surrogate.calibrate import _fit_metric
+
+        fit = _fit_metric([(1.0, 10.0), (2.0, 5.0), (3.0, 1.0)])
+        assert fit.scale > 0  # monotonicity preserved over fidelity
+
+    def test_harvest_from_store(self, store):
+        for rate in (0.01, 0.03):
+            _store_exact(store, rate=rate)
+        store.put(spec_fingerprint({"kind": "manifest"}), {"cells": {}})
+        table = calibrate_from_store(store, AnalyticalModel())
+        assert table.sample_count == 2
+        assert set(table.cells) == {"mesh/static-bubble"}
+        cell = table.cells["mesh/static-bubble"]
+        assert cell.fits["latency"].samples == 2
+        assert cell.fits["energy"].samples == 2  # stats carry the counters
+
+    def test_persistence_round_trip(self, store, tmp_path):
+        _store_exact(store, rate=0.02)
+        table = calibrate_from_store(store, AnalyticalModel())
+        path = tmp_path / "calib.json"
+        table.save(path)
+        loaded = CalibrationTable.load(path)
+        assert loaded is not None
+        assert loaded.fingerprint() == table.fingerprint()
+
+    def test_salt_mismatch_discards_table(self, tmp_path):
+        table = CalibrationTable()
+        path = tmp_path / "calib.json"
+        table.save(path)
+        doc = json.loads(path.read_text())
+        doc["code_salt"] = "repro-0.0.0-schema0"
+        path.write_text(json.dumps(doc))
+        assert CalibrationTable.load(path) is None
+
+    def test_fingerprint_changes_with_samples(self):
+        table = CalibrationTable()
+        before = table.fingerprint()
+        table.ensure_cell("mesh", "static-bubble").add(
+            Sample("ab" * 32, (0.1, 6.0, 60.0), {"latency": 20.0}, {"latency": 15.0})
+        )
+        assert table.fingerprint() != before
+
+
+class TestUncertainty:
+    SUPPORT = [(0.1, 6.0, 60.0), (0.2, 6.0, 60.0), (0.4, 6.0, 60.0)]
+
+    def test_distance_zero_on_support(self):
+        assert support_distance(self.SUPPORT[1], self.SUPPORT) == 0.0
+
+    def test_distance_grows_off_support(self):
+        near = support_distance((0.25, 6.0, 60.0), self.SUPPORT)
+        far = support_distance((0.9, 6.0, 60.0), self.SUPPORT)
+        assert 0 < near < far
+
+    def test_empty_support_is_unbounded(self):
+        assert support_distance((0.1, 6.0, 60.0), []) == float("inf")
+
+    def test_gate_env_override(self, monkeypatch):
+        monkeypatch.setenv(MAX_BOUND_ENV_VAR, "0.07")
+        assert UncertaintyGate().max_bound == 0.07
+        monkeypatch.setenv(MAX_BOUND_ENV_VAR, "not-a-number")
+        assert UncertaintyGate().max_bound == UncertaintyGate(0.25).max_bound
+
+
+class TestOracleAccuracy:
+    def test_fig8_point_error_within_20pct(self, calibrated):
+        """Acceptance: calibrated fig8-point latency error <= 20%."""
+        oracle, truths = calibrated
+        for rate, truth in truths.items():
+            spec = SimSpec(**{**FIG8, "rate": rate})
+            prediction = oracle.predict(spec)
+            true_latency = truth["result"]["avg_latency"]
+            err = abs(prediction.latency - true_latency) / true_latency
+            assert err <= 0.20, f"rate {rate}: {err:.1%}"
+
+    def test_calibrated_latency_keeps_hop_bound(self, calibrated):
+        oracle, _ = calibrated
+        prediction = oracle.predict(SimSpec(**{**FIG8, "rate": 0.001}))
+        assert prediction.latency >= prediction.raw.hop_bound
+
+    def test_every_answer_carries_bound_and_provenance(self, calibrated):
+        oracle, _ = calibrated
+        spec = SimSpec(**{**FIG8, "rate": 0.02, "mode": "surrogate"})
+        payload = oracle.answer(spec)
+        assert payload is not None
+        meta = payload["surrogate"]
+        assert meta["error_bound"] is not None and meta["error_bound"] > 0
+        prov = meta["provenance"]
+        assert prov["cell"] == cell_key("mesh", "static-bubble")
+        assert prov["code_salt"] == CODE_SALT
+        assert prov["calibration_fingerprint"] == oracle.calibration.fingerprint()
+        assert payload["result"]["avg_latency"] > 0
+
+
+class TestOracleGating:
+    def test_exact_mode_never_answers(self, calibrated):
+        oracle, _ = calibrated
+        assert oracle.answer(SimSpec(**{**FIG8, "rate": 0.02})) is None
+
+    def test_auto_answers_in_support_escalates_far_out(self, calibrated):
+        oracle, _ = calibrated
+        near = SimSpec(**{**FIG8, "rate": 0.02, "mode": "auto"})
+        assert oracle.answer(near) is not None
+        # A 12x12 mesh with different fault count: no calibration cellmate
+        # features anywhere near support on load/hops/nodes -> escalate.
+        far = SimSpec(
+            width=12, height=12, link_faults=0, scheme="static-bubble",
+            pattern="uniform_random", rate=0.30, warmup=150, measure=400,
+            seed=3, mode="auto",
+        )
+        assert oracle.answer(far) is None
+
+    def test_uncalibrated_cell_escalates_in_auto(self, store):
+        oracle = SurrogateOracle(store=store, registry=store.registry)
+        spec = SimSpec(**{**FIG8, "rate": 0.02, "mode": "auto"})
+        assert oracle.answer(spec) is None
+        assert store.registry.counters["surrogate.escalated"] == 1
+
+    def test_unknown_pattern_escalates_auto_raises_forced(self, calibrated):
+        oracle, _ = calibrated
+        auto = SimSpec(**{**FIG8, "pattern": "tornado", "mode": "auto"})
+        assert oracle.answer(auto) is None
+        forced = SimSpec(**{**FIG8, "pattern": "tornado", "mode": "surrogate"})
+        with pytest.raises(ValueError):
+            oracle.answer(forced)
+
+    def test_observe_feeds_calibration(self, store):
+        spec, payload = _store_exact(store, rate=0.02)
+        oracle = SurrogateOracle(store=store, registry=store.registry)
+        before = oracle.calibration.sample_count
+        spec2 = SimSpec(**{**FIG8, "rate": 0.01})
+        payload2 = run_sim_spec(spec2.to_dict())
+        assert oracle.observe(spec2.to_dict(), payload2)
+        assert oracle.calibration.sample_count == before + 1
+        # Persisted: a fresh oracle over the same store root reloads it.
+        again = SurrogateOracle(store=store, registry=MetricsRegistry())
+        assert again.calibration.sample_count == before + 1
+
+    def test_observe_skips_surrogate_payloads(self, calibrated):
+        oracle, _ = calibrated
+        spec = SimSpec(**{**FIG8, "rate": 0.02, "mode": "surrogate"})
+        payload = oracle.answer(spec)
+        assert not oracle.observe(spec.to_dict(), payload)
+
+
+class TestSpecModeField:
+    def test_mode_is_execution_only(self):
+        exact = SimSpec(**{**FIG8, "mode": "exact"})
+        auto = SimSpec(**{**FIG8, "mode": "auto"})
+        assert spec_fingerprint(spec_identity(exact.to_dict())) == spec_fingerprint(
+            spec_identity(auto.to_dict())
+        )
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimSpec.from_dict({**SimSpec().to_dict(), "mode": "psychic"})
+
+
+class TestFanOutFastLane:
+    def test_predictor_answers_whole_sweep(self, calibrated):
+        from repro.experiments.common import fan_out
+
+        oracle, _ = calibrated
+        spec = SimSpec(**FIG8)
+        topo = spec.build_topology()
+        config = spec.build_config()
+        argslist = [
+            (topo, "static-bubble", "uniform_random", rate, config, 150, 400, 3)
+            for rate in (0.01, 0.02, 0.04)
+        ]
+        predictor = synthetic_cell_predictor(oracle)
+
+        def must_not_run(*args):  # pragma: no cover - the assertion
+            raise AssertionError("cell escalated unexpectedly")
+
+        results = fan_out(
+            must_not_run, argslist, workers=1, cached=False,
+            mode="auto", predictor=predictor,
+        )
+        assert len(results) == 3
+        for latency, packets in results:
+            assert latency > 0 and packets > 0
+
+    def test_escalated_cells_keep_positions(self, calibrated):
+        from repro.experiments.common import fan_out
+
+        oracle, _ = calibrated
+        spec = SimSpec(**FIG8)
+        topo = spec.build_topology()
+        config = spec.build_config()
+        argslist = [
+            (topo, "static-bubble", "uniform_random", 0.02, config, 150, 400, 3),
+            (topo, "static-bubble", "tornado", 0.02, config, 150, 400, 3),
+        ]
+
+        def exact_stub(topo, scheme, pattern, rate, config, warmup, measure, seed):
+            return ("exact", pattern)
+
+        results = fan_out(
+            exact_stub, argslist, workers=1, cached=False,
+            mode="auto", predictor=synthetic_cell_predictor(oracle),
+        )
+        assert isinstance(results[0], tuple) and results[0][0] != "exact"
+        assert results[1] == ("exact", "tornado")
+
+    def test_exact_mode_bypasses_predictor(self):
+        from repro.experiments.common import fan_out
+
+        def poison(args, mode):  # pragma: no cover - the assertion
+            raise AssertionError("predictor consulted in exact mode")
+
+        results = fan_out(_double, [(2,), (3,)], workers=1, mode="exact", predictor=poison)
+        assert results == [4, 6]
+
+    def test_resolve_mode_env(self, monkeypatch):
+        from repro.experiments.common import MODE_ENV_VAR, resolve_mode
+
+        monkeypatch.delenv(MODE_ENV_VAR, raising=False)
+        assert resolve_mode() == "exact"
+        monkeypatch.setenv(MODE_ENV_VAR, "auto")
+        assert resolve_mode() == "auto"
+        assert resolve_mode("surrogate") == "surrogate"
+        monkeypatch.setenv(MODE_ENV_VAR, "bogus")
+        assert resolve_mode() == "exact"
+
+
+def _double(x):
+    return x * 2
+
+
+class TestServerFastLane:
+    @pytest.fixture()
+    def server(self, tmp_path, calibrated):
+        from repro.service.server import ServiceServer
+
+        oracle, _ = calibrated
+        store = oracle.store  # pre-calibrated store: the lane can answer
+        with ServiceServer(port=0, store=store, workers=2, quiet=True) as srv:
+            yield srv
+
+    def test_surrogate_submission_answers_synchronously(self, server):
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(server.url)
+        # Rate 0.015 is inside support but NOT a calibration seed, so the
+        # store has no exact entry for it before or after the answer.
+        spec = SimSpec(**{**FIG8, "rate": 0.015, "mode": "surrogate"})
+        from repro.service.server import fingerprint_for
+
+        assert server.store.get(fingerprint_for(spec)) is None
+        payload = client.submit(spec)
+        assert payload["status"] == "done"
+        assert payload.get("surrogate") is True
+        meta = payload["result"]["surrogate"]
+        assert meta["error_bound"] is not None
+        assert meta["provenance"]["cell"] == "mesh/static-bubble"
+        # The exact store was not polluted by the synchronous answer.
+        assert server.store.get(fingerprint_for(spec)) is None
+
+    def test_surrogate_status_endpoint(self, server):
+        import urllib.request
+
+        with urllib.request.urlopen(server.url + "/surrogate") as response:
+            status = json.loads(response.read())
+        assert status["samples"] == 3
+        assert "mesh/static-bubble" in status["cells"]
+
+    def test_exact_mode_still_simulates(self, server):
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(server.url)
+        spec = SimSpec(width=3, height=3, rate=0.03, warmup=30, measure=80, seed=5)
+        payload = client.run(spec, timeout=60)
+        assert payload["status"] == "done"
+        assert "surrogate" not in payload
+        assert "stats" in payload["result"]
