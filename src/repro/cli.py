@@ -24,7 +24,14 @@ Commands:
   (``--model-check ring2x2``).  Exits 1 on any failed claim.
 * ``serve`` — run the HTTP campaign server (``repro.service``): submit
   simulation specs over ``POST /jobs``, get memoized results from the
-  content-addressed store, scrape ``GET /metrics``.
+  content-addressed store, scrape ``GET /metrics``.  ``--backend async``
+  swaps in the event-loop front end; ``--shard``/``--shard-map`` swap in
+  the consistent-hash sharded store (:mod:`repro.service.fabric`).
+* ``worker`` — remote worker pool member: long-poll a campaign server
+  for leased jobs, execute them locally, and report results with
+  at-least-once delivery (heartbeats, idempotent completion).
+* ``shards`` — inspect (``status``) or rebalance a sharded result store
+  described by a shard-map JSON file.
 * ``submit`` — client for ``serve``: post one simulation spec (the same
   knobs as ``simulate``) and optionally wait for the result;
   ``--mode surrogate|auto`` rides the calibrated analytical fast lane.
@@ -259,14 +266,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _resolve_store_arg(args: argparse.Namespace):
+    """Build the store a server should own from --store/--shard/--shard-map."""
     from pathlib import Path
 
-    from repro.service.server import ServiceServer
     from repro.service.store import ResultStore
 
-    store = ResultStore(root=Path(args.store) if args.store else None)
-    server = ServiceServer(
+    shard_map_path = getattr(args, "shard_map", None)
+    shard_roots = getattr(args, "shard", None) or []
+    if shard_map_path or len(shard_roots) > 1:
+        from repro.service.fabric import ShardMap, ShardedResultStore
+
+        if shard_map_path:
+            shard_map = ShardMap.load(shard_map_path)
+        else:
+            shard_map = ShardMap.local(
+                shard_roots, replicas=getattr(args, "replicas", 2)
+            )
+        return ShardedResultStore(shard_map)
+    if shard_roots:
+        return ResultStore(root=Path(shard_roots[0]))
+    return ResultStore(root=Path(args.store) if args.store else None)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.fabric import make_server
+
+    store = _resolve_store_arg(args)
+    server = make_server(
+        backend=args.backend,
         host=args.host,
         port=args.port,
         store=store,
@@ -277,16 +305,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         quiet=args.quiet,
         record_ttl=args.record_ttl if args.record_ttl > 0 else None,
         surrogate=not args.no_surrogate,
+        lease_ttl=args.lease_ttl,
+        local_exec=not args.no_local_exec,
     )
-    print(f"repro service listening on {server.url}")
-    print(f"result store: {store.root} (cap {store.max_bytes} bytes)")
+    server.start()
+    print(f"repro service listening on {server.url} ({args.backend} front end)")
+    shard_map = getattr(store, "map", None)
+    if shard_map is not None:
+        for shard in shard_map.shards:
+            print(f"  shard {shard.name}: {shard.root} (weight {shard.weight})")
+        print(f"  replicas: {shard_map.replicas}")
+    else:
+        print(f"result store: {store.root} (cap {store.max_bytes} bytes)")
+    if args.no_local_exec:
+        print("local execution off: jobs wait for `repro worker` claims")
     try:
-        server.serve_forever()
+        # start() already runs the front end; block until interrupted.
+        import time
+
+        while True:
+            time.sleep(3600)
     except KeyboardInterrupt:
-        print("\nshutting down")
+        print("\nshutting down (draining)")
     finally:
-        server.httpd.server_close()
+        server.stop()
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.fabric import run_worker
+
+    try:
+        stats = run_worker(
+            args.url,
+            worker_id=args.id,
+            max_jobs=args.max_jobs,
+            poll_wait=args.wait,
+            exec_workers=args.workers,
+            max_idle_polls=args.max_idle if args.max_idle > 0 else None,
+            quiet=args.quiet,
+        )
+    except OSError as exc:
+        print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"worker done: {stats.summary()}")
+    return 0
+
+
+def _cmd_shards(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.fabric import ShardMap, ShardedResultStore, rebalance
+
+    try:
+        shard_map = ShardMap.load(args.map)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load shard map {args.map!r}: {exc}", file=sys.stderr)
+        return 2
+    store = ShardedResultStore(shard_map)
+    if args.action == "status":
+        health = store.health()
+        rows = []
+        for shard in shard_map.shards:
+            sub = store.shard_store(shard.name)
+            ok = health["shards"].get(shard.name, False)
+            blobs = sum(1 for _ in sub.iter_fingerprints()) if ok else "-"
+            size = sub.size_bytes() if ok else "-"
+            rows.append([shard.name, shard.root, shard.weight, ok, blobs, size])
+        print(format_table(
+            ["shard", "root", "weight", "reachable", "blobs", "bytes"], rows
+        ))
+        print(f"\nreplicas: {shard_map.replicas}  distinct results: {len(store)}")
+        return 0 if health["ok"] else 1
+    # rebalance
+    report = rebalance(store, prune=args.prune)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            "rebalance: scanned {scanned}  copied {copied}  "
+            "pruned {pruned}  skipped {skipped}".format(**report)
+        )
+    return 0 if report["skipped"] == 0 else 1
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -754,7 +855,111 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the surrogate fast lane (mode surrogate/auto "
         "submissions then always simulate)",
     )
+    p.add_argument(
+        "--backend",
+        choices=("threaded", "async"),
+        default="threaded",
+        help="HTTP front end: threaded = thread-per-connection "
+        "(ThreadingHTTPServer), async = single event loop with "
+        "streaming bodies and graceful drain",
+    )
+    p.add_argument(
+        "--shard",
+        action="append",
+        metavar="DIR",
+        help="result-store shard root; repeat for a consistent-hash "
+        "sharded store (one occurrence behaves like --store)",
+    )
+    p.add_argument(
+        "--shard-map",
+        default=None,
+        metavar="FILE",
+        help="declarative shard map JSON (see `repro shards`); "
+        "overrides --shard/--store",
+    )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="replica count for an ad-hoc --shard map (ignored with "
+        "--shard-map, which carries its own)",
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds a claimed job's lease lasts without a heartbeat "
+        "before it is requeued",
+    )
+    p.add_argument(
+        "--no-local-exec",
+        action="store_true",
+        help="do not execute jobs in this process; jobs wait for "
+        "`repro worker` claims",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="pull-execute-report worker against a campaign server "
+        "(at-least-once leases, idempotent completion)",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8765")
+    p.add_argument(
+        "--id", default=None, help="worker identity (default: host-pid-nonce)"
+    )
+    p.add_argument(
+        "--max-jobs",
+        type=int,
+        default=4,
+        help="jobs to claim per long-poll cycle",
+    )
+    p.add_argument(
+        "--wait",
+        type=float,
+        default=15.0,
+        help="long-poll window per claim request in seconds",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="local processes fanned over each claimed batch "
+        "(1 = execute in-process)",
+    )
+    p.add_argument(
+        "--max-idle",
+        type=int,
+        default=0,
+        help="exit after this many consecutive empty claims "
+        "(<= 0 pulls forever)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-batch stats lines"
+    )
+    p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "shards",
+        help="inspect or rebalance a sharded result store",
+    )
+    p.add_argument(
+        "action",
+        choices=("status", "rebalance"),
+        help="status = per-shard reachability/blob counts; rebalance = "
+        "move blobs to their consistent-hash owners after a map change",
+    )
+    p.add_argument(
+        "--map", required=True, metavar="FILE", help="shard map JSON file"
+    )
+    p.add_argument(
+        "--prune",
+        action="store_true",
+        help="rebalance only: delete blobs from shards that no longer "
+        "own them (after copying)",
+    )
+    p.add_argument("--json", action="store_true", help="print the raw report")
+    p.set_defaults(func=_cmd_shards)
 
     p = sub.add_parser(
         "submit",

@@ -1,9 +1,11 @@
 """Parallel experiment execution (process-pool sweep fan-out)."""
 
 from repro.parallel.pool import (
+    CallTimeout,
     Job,
     JobError,
     WORKERS_ENV_VAR,
+    call_with_timeout,
     default_workers,
     job_seed,
     resolve_workers,
@@ -12,9 +14,11 @@ from repro.parallel.pool import (
 )
 
 __all__ = [
+    "CallTimeout",
     "Job",
     "JobError",
     "WORKERS_ENV_VAR",
+    "call_with_timeout",
     "default_workers",
     "job_seed",
     "resolve_workers",

@@ -29,6 +29,7 @@ import multiprocessing
 import os
 import pickle
 import sys
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -87,6 +88,58 @@ class Job:
 def _call_job(job: Job) -> Any:
     """Top-level trampoline executed inside worker processes."""
     return job.run()
+
+
+class CallTimeout(RuntimeError):
+    """:func:`call_with_timeout` exceeded its wall-clock budget."""
+
+
+def call_with_timeout(
+    func: Callable[..., Any],
+    args: Tuple = (),
+    kwargs: Optional[Dict[str, Any]] = None,
+    timeout: Optional[float] = None,
+) -> Any:
+    """Run ``func(*args, **kwargs)``, raising :class:`CallTimeout` past
+    ``timeout`` seconds.
+
+    Portable replacement for SIGALRM-based budgets: the call runs in a
+    daemon thread and the caller joins with a deadline, so it works on
+    every platform and from *any* thread — including pool worker
+    processes, the service queue's scheduler thread, and asyncio
+    executor threads, where signals either do not exist or never fire.
+
+    The cost of portability is that a timed-out call is *abandoned*, not
+    preempted: the daemon thread keeps running to completion in the
+    background and its result is discarded.  That matches the service
+    contract (the job is reported failed and may be retried elsewhere)
+    — simulations are pure, so an abandoned duplicate can at worst
+    re-derive the same bytes.
+
+    ``timeout=None`` (or <= 0) calls ``func`` directly, with zero
+    threading overhead.
+    """
+    if timeout is None or timeout <= 0:
+        return func(*args, **(kwargs or {}))
+    outcome: List[Any] = []
+
+    def _target() -> None:
+        try:
+            outcome.append(("ok", func(*args, **(kwargs or {}))))
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            outcome.append(("raise", exc))
+
+    runner = threading.Thread(
+        target=_target, name="repro-timeout-call", daemon=True
+    )
+    runner.start()
+    runner.join(timeout)
+    if not outcome:
+        raise CallTimeout(f"call exceeded {timeout:g}s wall clock")
+    status, value = outcome[0]
+    if status == "raise":
+        raise value
+    return value
 
 
 def _call_batch(batch: Tuple[Job, ...]) -> List[Any]:

@@ -9,7 +9,10 @@ The memoizing service layer over the simulator (see DESIGN.md):
 * :mod:`repro.service.queue` — :class:`JobQueue` (dedup, priorities,
   timeout/retry) and :func:`run_campaign` (resumable manifest sweeps);
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the HTTP
-  face (``repro serve`` / ``repro submit``).
+  face (``repro serve`` / ``repro submit``);
+* :mod:`repro.service.fabric` — the distributed fabric: asyncio front
+  end, consistent-hash sharded storage, and remote worker pools
+  (``repro serve --backend async`` / ``repro worker``).
 """
 
 from repro.service.client import JobFailedError, ServiceClient, ServiceError
@@ -21,6 +24,14 @@ from repro.service.queue import (
     run_campaign,
 )
 from repro.service.server import ServiceServer
+from repro.service.fabric import (
+    AsyncServiceServer,
+    FabricWorker,
+    ShardMap,
+    ShardedResultStore,
+    make_server,
+    run_worker,
+)
 from repro.service.spec import SimSpec, run_sim_spec, sim_result_payload
 from repro.service.store import (
     STORE_ENV_VAR,
@@ -30,7 +41,9 @@ from repro.service.store import (
 )
 
 __all__ = [
+    "AsyncServiceServer",
     "CampaignReport",
+    "FabricWorker",
     "JobFailedError",
     "JobQueue",
     "JobRecord",
@@ -40,10 +53,14 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "ShardMap",
+    "ShardedResultStore",
     "SimSpec",
     "default_store_root",
+    "make_server",
     "run_campaign",
     "run_sim_spec",
+    "run_worker",
     "sim_result_payload",
     "spec_fingerprint",
 ]

@@ -1,21 +1,40 @@
 """HTTP client for the campaign server (stdlib ``urllib`` only).
 
-Small, dependency-free, and symmetric with the server's endpoints.  The
-one piece of client-side policy lives in :meth:`ServiceClient.submit`:
-429 backpressure is retried with exponential backoff (the server is
-telling us it is at capacity, not that the request is wrong), and
-:meth:`ServiceClient.run` polls a submitted job to completion.
+Small, dependency-free, and symmetric with the server's endpoints.  Two
+pieces of client-side policy live here:
+
+* **Transient-error retries** — every request in this API is idempotent
+  (GETs trivially; job POSTs because submission is content-addressed
+  dedup, heartbeats re-assert a lease, and completions coalesce on the
+  server), so a dropped connection, a refused connect during a server
+  restart, or a torn response is retried with capped exponential backoff
+  plus jitter rather than surfaced.  HTTP *error responses* (4xx/5xx)
+  are never blindly retried — the server answered; only 429
+  backpressure gets its own loop in :meth:`ServiceClient.submit`,
+  honoring the server's ``Retry-After``.
+* **Polling** — :meth:`ServiceClient.run` submits and polls a job to
+  completion; :meth:`ServiceClient.claim` long-polls the worker
+  endpoint.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.service.spec import SimSpec
+
+#: Connection-level failures safe to retry on idempotent requests.
+TRANSIENT_ERRORS = (
+    ConnectionError,
+    http.client.HTTPException,
+    TimeoutError,
+)
 
 
 class ServiceError(RuntimeError):
@@ -32,19 +51,31 @@ class JobFailedError(ServiceError):
 
 
 class ServiceClient:
-    """Talk to a :class:`repro.service.server.ServiceServer`."""
+    """Talk to a :class:`repro.service.server.ServiceServer` (either front end)."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        transient_retries: int = 4,
+        retry_backoff: float = 0.1,
+        max_backoff: float = 2.0,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Connection-error retries per request (0 disables the policy).
+        self.transient_retries = transient_retries
+        self.retry_backoff = retry_backoff
+        self.max_backoff = max_backoff
 
     # -- transport -------------------------------------------------------
 
-    def _request(
+    def _request_once(
         self,
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
     ) -> Tuple[int, Dict[str, Any], str]:
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
@@ -54,21 +85,63 @@ class ServiceClient:
             headers={"Content-Type": "application/json"} if data else {},
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(
+                request, timeout=timeout if timeout is not None else self.timeout
+            ) as response:
                 raw = response.read().decode()
                 status = response.status
                 ctype = response.headers.get("Content-Type", "")
+                retry_after = response.headers.get("Retry-After")
         except urllib.error.HTTPError as exc:
             raw = exc.read().decode()
             status = exc.code
             ctype = exc.headers.get("Content-Type", "") if exc.headers else ""
+            retry_after = exc.headers.get("Retry-After") if exc.headers else None
         if "application/json" in ctype:
-            return status, json.loads(raw), raw
+            payload = json.loads(raw)
+            if status == 429 and retry_after and "retry_after" not in payload:
+                # Honor the header even when the body omits the hint.
+                try:
+                    payload["retry_after"] = float(retry_after)
+                except ValueError:
+                    pass
+            return status, payload, raw
         return status, {}, raw
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, Any], str]:
+        """One logical request, with transient-connection-error retries.
+
+        ``URLError`` (connection refused/reset, DNS hiccup), bare
+        ``ConnectionError``, torn keep-alive responses
+        (``http.client`` exceptions), and socket timeouts are retried
+        ``transient_retries`` times with capped exponential backoff and
+        full jitter; the final failure propagates to the caller.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body, timeout=timeout)
+            except (urllib.error.URLError, *TRANSIENT_ERRORS) as exc:
+                if isinstance(exc, urllib.error.HTTPError):
+                    raise  # a real HTTP response; never a transport failure
+                if attempt >= self.transient_retries:
+                    raise
+                delay = min(
+                    self.max_backoff, self.retry_backoff * (2 ** attempt)
+                ) * (0.5 + random.random() / 2.0)
+                attempt += 1
+                time.sleep(delay)
 
     # -- endpoints -------------------------------------------------------
 
     def healthz(self) -> Dict[str, Any]:
+        """Raises :class:`ServiceError` on degraded (non-200) health."""
         status, payload, _ = self._request("GET", "/healthz")
         if status != 200:
             raise ServiceError(status, payload)
@@ -92,7 +165,7 @@ class ServiceClient:
         if priority:
             body["priority"] = priority
         for attempt in range(max_backoff_retries + 1):
-            status, payload, _ = self._request("POST", "/jobs", body)
+            status, payload, _ = self._request("POST", "/jobs", dict(body))
             if status in (200, 202):
                 return payload
             if status == 429 and attempt < max_backoff_retries:
@@ -149,3 +222,54 @@ class ServiceClient:
         done = self.wait_job(payload["job_id"], timeout=timeout, poll=poll)
         done.setdefault("cached", False)
         return done
+
+    # -- worker protocol (repro.service.fabric) --------------------------
+
+    def claim(
+        self, worker_id: str, max_jobs: int = 1, wait: float = 0.0
+    ) -> Dict[str, Any]:
+        """Long-poll ``GET /jobs/claim``: lease up to ``max_jobs`` specs.
+
+        Returns the claim payload (``jobs``, ``lease_ttl``, ``timeout``,
+        ``draining``); an empty ``jobs`` list after ``wait`` seconds
+        means no work was available.
+        """
+        status, payload, _ = self._request(
+            "GET",
+            f"/jobs/claim?worker={worker_id}&max={max_jobs}&wait={wait:g}",
+            timeout=self.timeout + wait,
+        )
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def heartbeat(self, job_id: str, worker_id: str) -> bool:
+        """Extend the lease; False = forfeit (abandon the execution)."""
+        status, payload, _ = self._request(
+            "POST", f"/jobs/{job_id}/heartbeat", {"worker": worker_id}
+        )
+        if status != 200:
+            raise ServiceError(status, payload)
+        return bool(payload.get("ok", False))
+
+    def complete(
+        self,
+        job_id: str,
+        worker_id: str,
+        ok: bool,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> str:
+        """Report an outcome; returns the server's coalescing verdict
+        (``done``/``duplicate``/``stored``/``retry``/``failed``/``unknown``)."""
+        body: Dict[str, Any] = {"worker": worker_id, "ok": ok}
+        if ok:
+            body["result"] = result if result is not None else {}
+        else:
+            body["error"] = error if error is not None else "worker error"
+        status, payload, _ = self._request(
+            "POST", f"/jobs/{job_id}/complete", body
+        )
+        if status != 200:
+            raise ServiceError(status, payload)
+        return str(payload.get("outcome", "unknown"))

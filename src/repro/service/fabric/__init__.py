@@ -1,0 +1,38 @@
+"""Distributed campaign fabric: async front end, sharded store, workers.
+
+Scales :mod:`repro.service` from one process to a fleet (see DESIGN §4e):
+
+* :mod:`repro.service.fabric.asyncserver` —
+  :class:`AsyncServiceServer`, a single-event-loop HTTP front end with
+  streaming bodies, graceful drain, and per-endpoint latency
+  histograms (lifts the thread-per-connection ceiling);
+* :mod:`repro.service.fabric.shard` — :class:`ShardMap` /
+  :class:`ShardedResultStore`, consistent-hash placement of result
+  blobs over many storage roots with read-through replication, plus the
+  :func:`rebalance` operator tool;
+* :mod:`repro.service.fabric.worker` — :class:`FabricWorker` /
+  :func:`run_worker`, the ``repro worker`` pull-execute-report loop
+  with lease heartbeats and idempotent completion (at-least-once
+  delivery, exactly one stored result).
+"""
+
+from repro.service.fabric.asyncserver import AsyncServiceServer, make_server
+from repro.service.fabric.shard import (
+    Shard,
+    ShardMap,
+    ShardedResultStore,
+    rebalance,
+)
+from repro.service.fabric.worker import FabricWorker, WorkerStats, run_worker
+
+__all__ = [
+    "AsyncServiceServer",
+    "FabricWorker",
+    "Shard",
+    "ShardMap",
+    "ShardedResultStore",
+    "WorkerStats",
+    "make_server",
+    "rebalance",
+    "run_worker",
+]

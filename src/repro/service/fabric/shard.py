@@ -1,0 +1,395 @@
+"""Multi-node result storage: consistent hashing over a shard map.
+
+One :class:`~repro.service.store.ResultStore` per shard, stitched into a
+single store-shaped façade (:class:`ShardedResultStore`) by a
+:class:`ShardMap` — a declarative description of the fleet's storage
+nodes.  The store layer was built for this: blobs are already addressed
+by content fingerprint and written atomically, so "which node owns this
+fingerprint" is the *only* new question, and consistent hashing answers
+it with minimal movement when the map changes.
+
+Placement
+---------
+
+The map hashes ``vnodes`` virtual points per shard (scaled by ``weight``)
+onto a 64-bit ring; a fingerprint lands on the first point clockwise from
+its own 64-bit prefix, and its replica set is the next ``replicas``
+*distinct* shards around the ring.  Adding one shard to an N-shard map
+therefore relocates ~1/(N+1) of the keyspace instead of rehashing
+everything — the property that makes live rebalancing cheap.
+
+Replication and healing
+-----------------------
+
+* :meth:`ShardedResultStore.put` writes the primary first, then
+  best-effort copies to the remaining replicas (a replica whose disk is
+  gone does not fail the put — durability degrades, availability does
+  not).
+* :meth:`ShardedResultStore.get` reads the primary, then *read-through*
+  falls back to replicas; a replica hit is healed back into the primary
+  so the next read is local again.  Only when every replica misses does
+  the fabric re-execute the simulation — results are pure functions of
+  the fingerprint, so storage loss costs time, never correctness.
+* :meth:`ShardedResultStore.health` reports per-shard reachability; the
+  servers surface it through ``/healthz`` (degraded = non-200) so load
+  balancers stop routing to a front end whose storage is limping.
+
+:func:`rebalance` is the operator tool: after editing the shard map
+(adding/removing/reweighting shards), one pass copies every blob to its
+current owner set and optionally prunes stale copies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry, proc_registry
+from repro.service.store import ResultStore
+
+#: Virtual points per unit of shard weight.  128 keeps the keyspace
+#: split within a few percent of the weight ratio while the ring stays
+#: small enough to rebuild on every map edit.
+DEFAULT_VNODES = 128
+
+
+def _ring_point(label: str) -> int:
+    """64-bit position of a label on the hash ring."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode()).digest()[:8], "big"
+    )
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One storage node: a name (its ring identity) and a blob root."""
+
+    name: str
+    root: str
+    weight: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "root": self.root, "weight": self.weight}
+
+
+@dataclass
+class ShardMap:
+    """Declarative fleet storage layout + the derived hash ring.
+
+    The JSON form is the operator artifact (checked in, edited by hand,
+    passed to ``repro serve --shard-map`` and ``repro shards``)::
+
+        {"version": 1, "replicas": 2,
+         "shards": [{"name": "s0", "root": "/data/s0", "weight": 1},
+                    {"name": "s1", "root": "/data/s1", "weight": 1}]}
+
+    ``replicas`` counts *copies* (primary included) and is clamped to
+    the shard count.  Shard *names* are hashed, not roots, so a shard
+    can be re-rooted (moved to a new disk) without relocating any keys.
+    """
+
+    shards: List[Shard]
+    replicas: int = 2
+    vnodes: int = DEFAULT_VNODES
+    _ring: List[Tuple[int, str]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("shard map needs at least one shard")
+        names = [shard.name for shard in self.shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names in map: {names}")
+        self.replicas = max(1, min(int(self.replicas), len(self.shards)))
+        self._ring = []
+        for shard in self.shards:
+            for i in range(self.vnodes * max(1, shard.weight)):
+                self._ring.append((_ring_point(f"{shard.name}#{i}"), shard.name))
+        self._ring.sort()
+
+    # -- placement -------------------------------------------------------
+
+    def owners(self, fp: str) -> List[str]:
+        """Replica set (primary first) of shard names for a fingerprint."""
+        if len(fp) < 16 or not all(c in "0123456789abcdef" for c in fp[:16]):
+            raise ValueError(f"not a fingerprint: {fp!r}")
+        point = int(fp[:16], 16)
+        start = bisect_left(self._ring, (point, ""))
+        owners: List[str] = []
+        for offset in range(len(self._ring)):
+            _, name = self._ring[(start + offset) % len(self._ring)]
+            if name not in owners:
+                owners.append(name)
+                if len(owners) == self.replicas:
+                    break
+        return owners
+
+    def primary(self, fp: str) -> str:
+        return self.owners(fp)[0]
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": 1,
+            "replicas": self.replicas,
+            "vnodes": self.vnodes,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ShardMap":
+        if not isinstance(payload, dict) or "shards" not in payload:
+            raise ValueError("shard map must be an object with a 'shards' list")
+        shards = [
+            Shard(
+                name=str(entry["name"]),
+                root=str(entry["root"]),
+                weight=int(entry.get("weight", 1)),
+            )
+            for entry in payload["shards"]
+        ]
+        return cls(
+            shards=shards,
+            replicas=int(payload.get("replicas", 2)),
+            vnodes=int(payload.get("vnodes", DEFAULT_VNODES)),
+        )
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "ShardMap":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save(self, path: os.PathLike) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+
+    @classmethod
+    def local(cls, roots: Sequence[os.PathLike], replicas: int = 2) -> "ShardMap":
+        """Convenience map: one shard per root, named ``s0..sN-1``."""
+        return cls(
+            shards=[
+                Shard(name=f"s{i}", root=str(root)) for i, root in enumerate(roots)
+            ],
+            replicas=replicas,
+        )
+
+
+class ShardedResultStore:
+    """A :class:`ResultStore`-shaped façade over a :class:`ShardMap`.
+
+    Drop-in for every store consumer in the tree — the job queue, the
+    servers, campaign runs, and surrogate calibration all take it
+    unchanged (``registry``, ``get``/``put``/``contains``, iteration and
+    ``query`` all behave identically; ``root`` points at the first
+    shard, which is where the calibration table sidecar lives).
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        max_bytes: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.map = shard_map
+        self.registry = registry if registry is not None else proc_registry()
+        self._stores: Dict[str, ResultStore] = {}
+        for shard in shard_map.shards:
+            self._stores[shard.name] = ResultStore(
+                root=Path(shard.root),
+                max_bytes=max_bytes,
+                registry=self.registry,
+            )
+
+    # -- ResultStore API parity ------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """Anchor directory for sidecars (calibration table, manifests)."""
+        return self._stores[self.map.shards[0].name].root
+
+    def shard_store(self, name: str) -> ResultStore:
+        return self._stores[name]
+
+    def get(self, fp: str) -> Optional[Dict[str, Any]]:
+        """Primary read, then read-through replicas, healing the primary."""
+        owners = self.map.owners(fp)
+        primary = self._stores[owners[0]]
+        try:
+            payload = primary.get(fp)
+        except OSError:
+            payload = None
+            self.registry.counter("service.shard.unreachable").inc()
+        if payload is not None:
+            return payload
+        for name in owners[1:]:
+            try:
+                payload = self._stores[name].get(fp)
+            except OSError:
+                self.registry.counter("service.shard.unreachable").inc()
+                continue
+            if payload is not None:
+                self.registry.counter("service.shard.readthrough").inc()
+                try:
+                    primary.put(fp, payload)  # heal: next read is local
+                except OSError:
+                    self.registry.counter("service.shard.heal_failed").inc()
+                return payload
+        return None
+
+    def put(self, fp: str, payload: Dict[str, Any]) -> Path:
+        """Write the primary (must succeed), replicate best-effort."""
+        owners = self.map.owners(fp)
+        written: Optional[Path] = None
+        primary_error: Optional[OSError] = None
+        try:
+            written = self._stores[owners[0]].put(fp, payload)
+        except OSError as exc:
+            primary_error = exc
+            self.registry.counter("service.shard.unreachable").inc()
+        for name in owners[1:]:
+            try:
+                replica_path = self._stores[name].put(fp, payload)
+            except OSError:
+                self.registry.counter("service.shard.replica_failed").inc()
+                continue
+            if written is None:
+                written = replica_path
+        if written is None:
+            raise primary_error if primary_error is not None else OSError(
+                f"no shard accepted {fp}"
+            )
+        return written
+
+    def contains(self, fp: str) -> bool:
+        return any(
+            self._stores[name].contains(fp) for name in self.map.owners(fp)
+        )
+
+    def __len__(self) -> int:
+        """Distinct fingerprints across the fleet (replicas dedup'd)."""
+        return sum(1 for _ in self.iter_fingerprints())
+
+    def size_bytes(self) -> int:
+        return sum(store.size_bytes() for store in self._stores.values())
+
+    def iter_fingerprints(self) -> Iterator[str]:
+        seen = set()
+        for store in self._stores.values():
+            try:
+                for fp in store.iter_fingerprints():
+                    if fp not in seen:
+                        seen.add(fp)
+                        yield fp
+            except OSError:
+                self.registry.counter("service.shard.unreachable").inc()
+
+    def iter_entries(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        seen = set()
+        for store in self._stores.values():
+            try:
+                for fp, payload in store.iter_entries():
+                    if fp not in seen:
+                        seen.add(fp)
+                        yield fp, payload
+            except OSError:
+                self.registry.counter("service.shard.unreachable").inc()
+
+    def query(
+        self, predicate: Callable[[Dict[str, Any]], bool]
+    ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        for fp, payload in self.iter_entries():
+            try:
+                keep = predicate(payload)
+            except Exception:  # noqa: BLE001 — malformed entry: skip
+                continue
+            if keep:
+                yield fp, payload
+
+    def clear(self) -> int:
+        return sum(store.clear() for store in self._stores.values())
+
+    # -- fleet health ----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Per-shard reachability (root exists and is a directory).
+
+        A shard whose directory vanished (unmounted disk, dead node in
+        the local-filesystem stand-in) turns ``ok`` False; the servers
+        map that to a 503 ``/healthz`` so balancers drain this front
+        end while reads fall back to replicas.
+        """
+        shards: Dict[str, bool] = {}
+        for shard in self.map.shards:
+            root = Path(shard.root)
+            try:
+                shards[shard.name] = root.is_dir()
+            except OSError:
+                shards[shard.name] = False
+        return {"ok": all(shards.values()), "shards": shards}
+
+
+def rebalance(
+    store: ShardedResultStore, prune: bool = False
+) -> Dict[str, int]:
+    """Re-place every blob according to the store's *current* map.
+
+    For each fingerprint found anywhere in the fleet: copy it to every
+    owner that lacks it; with ``prune=True`` also delete copies held by
+    non-owners (run only after the copy pass has widened coverage —
+    which this function guarantees by ordering copies first per blob).
+
+    Returns ``{"scanned", "copied", "pruned", "skipped"}`` counts.
+    ``skipped`` counts blobs whose bytes could not be read (corrupt or
+    shard lost mid-scan) — they are left for the fabric's re-execution
+    path rather than guessed at.
+    """
+    scanned = copied = pruned = skipped = 0
+    # Snapshot fingerprint -> holders before mutating anything.
+    holders: Dict[str, List[str]] = {}
+    for shard in store.map.shards:
+        shard_store = store.shard_store(shard.name)
+        try:
+            for fp in shard_store.iter_fingerprints():
+                holders.setdefault(fp, []).append(shard.name)
+        except OSError:
+            continue
+    for fp, present in holders.items():
+        scanned += 1
+        owners = store.map.owners(fp)
+        payload: Optional[Dict[str, Any]] = None
+        missing = [name for name in owners if name not in present]
+        if missing:
+            for name in present:
+                try:
+                    payload = store.shard_store(name).get(fp)
+                except OSError:
+                    payload = None
+                if payload is not None:
+                    break
+            if payload is None:
+                skipped += 1
+                continue
+            for name in missing:
+                try:
+                    store.shard_store(name).put(fp, payload)
+                    copied += 1
+                except OSError:
+                    skipped += 1
+        if prune:
+            for name in present:
+                if name in owners:
+                    continue
+                try:
+                    store.shard_store(name).path_for(fp).unlink(missing_ok=True)
+                    pruned += 1
+                except OSError:
+                    pass
+    return {
+        "scanned": scanned,
+        "copied": copied,
+        "pruned": pruned,
+        "skipped": skipped,
+    }

@@ -13,16 +13,32 @@ raw pool lacks:
   first (FIFO within a priority); ``max_depth`` bounds the pending set
   and :class:`QueueFull` signals backpressure (the HTTP layer maps it to
   429);
-* **Timeouts and retry** — each execution is wrapped with a wall-clock
-  timeout (SIGALRM inside pool workers; best-effort on the in-process
-  serial fallback, where a thread cannot be preempted) and failed jobs
-  are retried with exponential backoff before being marked FAILED.
+* **Timeouts and retry** — each execution is wrapped with a portable
+  wall-clock timeout (:func:`repro.parallel.call_with_timeout`: a
+  join-with-deadline watchdog that works from any thread on any
+  platform, unlike the SIGALRM budget it replaced) and failed jobs are
+  retried with exponential backoff before being marked FAILED.
+  Timed-out executions increment ``service.queue.timeout``.
 
 A scheduler thread drains the ready set in batches through
 ``run_jobs_batched`` — many cells per worker invocation, so per-process
 caches (warm routing tables) amortize across a batch; worker-process
 fan-out, ordering, and obs merging stay in one place
 (:mod:`repro.parallel.pool`).
+
+**Remote workers** (the distributed fabric, :mod:`repro.service.fabric`)
+pull from the same queue instead of the local pool: :meth:`JobQueue.claim`
+hands PENDING records to a named worker under a *lease*,
+:meth:`JobQueue.heartbeat` extends the lease while the worker computes,
+and :meth:`JobQueue.complete` reports the outcome.  Delivery is
+at-least-once: a worker that dies mid-job simply stops heartbeating, the
+lease expires, and the record is requeued for the next claimant; because
+job identity *is* content identity (the spec fingerprint), a late
+duplicate completion is detected and coalesced — exactly one stored
+result, no matter how many workers raced.  ``local_exec=False`` turns
+off the local execution pool entirely (the scheduler thread then only
+sweeps expired leases and TTL-prunes), which is how a fabric front end
+runs when all simulation happens on remote workers.
 
 :func:`run_campaign` is the batch face of the same machinery: a sweep's
 specs become a *manifest* (atomic JSON sidecar); cells already in the
@@ -36,7 +52,6 @@ import heapq
 import itertools
 import json
 import os
-import signal
 import tempfile
 import threading
 import time
@@ -45,7 +60,13 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import MetricsRegistry
-from repro.parallel import Job, resolve_workers, run_jobs_batched
+from repro.parallel import (
+    CallTimeout,
+    Job,
+    call_with_timeout,
+    resolve_workers,
+    run_jobs_batched,
+)
 from repro.service.spec import run_sim_spec, spec_identity
 from repro.service.store import ResultStore, spec_fingerprint
 
@@ -64,6 +85,16 @@ class JobTimeout(RuntimeError):
     """A job exceeded its wall-clock budget."""
 
 
+#: Error-message prefix marking a timeout outcome.  ``_guarded_run``
+#: outcomes cross process (and, for remote workers, HTTP) boundaries as
+#: plain strings, so the queue recognizes timeouts by prefix when it
+#: bumps the ``service.queue.timeout`` counter.
+TIMEOUT_ERROR_PREFIX = "JobTimeout"
+
+#: Default seconds a claimed job's lease lasts without a heartbeat.
+DEFAULT_LEASE_TTL = 30.0
+
+
 @dataclass
 class JobRecord:
     """Mutable bookkeeping for one submitted spec."""
@@ -79,6 +110,11 @@ class JobRecord:
     not_before: float = 0.0
     #: ``time.monotonic()`` when the record reached DONE/FAILED (TTL clock).
     finished_at: float = 0.0
+    #: Remote execution bookkeeping: the claiming worker's id and the
+    #: ``time.monotonic()`` deadline after which the claim is forfeit.
+    #: ``worker=None`` means the record runs (or ran) on the local pool.
+    worker: Optional[str] = None
+    lease_expiry: float = 0.0
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -90,6 +126,8 @@ class JobRecord:
             "attempts": self.attempts,
             "cached": self.cached,
         }
+        if self.worker is not None:
+            payload["worker"] = self.worker
         if self.state == DONE:
             payload["result"] = self.result
         if self.error is not None:
@@ -106,30 +144,22 @@ def _guarded_run(
 
     Returning ``("error", message)`` instead of raising keeps one bad
     cell from aborting the rest of its ``run_jobs`` batch.  The timeout
-    uses SIGALRM, which only exists on Unix and only fires in a thread
-    that is the process's main thread — true inside pool worker
-    processes, not on the serial in-thread fallback (best-effort there).
+    is :func:`repro.parallel.call_with_timeout` — a portable
+    join-with-deadline watchdog — which, unlike the SIGALRM budget it
+    replaced, fires identically inside pool worker processes, on the
+    serial in-thread fallback, under remote fabric workers, and in
+    asyncio executor threads (SIGALRM is Unix-only and silent outside
+    the main thread).  Timeout outcomes are reported with the
+    :data:`TIMEOUT_ERROR_PREFIX` so the queue layer can count them.
     """
-    use_alarm = (
-        timeout is not None
-        and timeout > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if use_alarm:
-        def _on_alarm(signum, frame):
-            raise JobTimeout(f"job exceeded {timeout:g}s wall clock")
-
-        previous = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, float(timeout))
     try:
-        return "ok", runner(spec)
+        return "ok", call_with_timeout(runner, (spec,), timeout=timeout)
+    except CallTimeout:
+        return "error", (
+            f"{TIMEOUT_ERROR_PREFIX}: job exceeded {timeout:g}s wall clock"
+        )
     except Exception as exc:  # noqa: BLE001 — converted to a FAILED record
         return "error", f"{type(exc).__name__}: {exc}"
-    finally:
-        if use_alarm:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous)
 
 
 class JobQueue:
@@ -150,6 +180,8 @@ class JobQueue:
         on_executed: Optional[
             Callable[[Dict[str, Any], Dict[str, Any]], None]
         ] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        local_exec: bool = True,
     ) -> None:
         self.runner = runner
         self.store = store if store is not None else ResultStore()
@@ -159,6 +191,14 @@ class JobQueue:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        #: Seconds a remote claim survives without a heartbeat before the
+        #: job is requeued for the next claimant (at-least-once delivery).
+        self.lease_ttl = max(0.5, float(lease_ttl))
+        #: When False, the scheduler thread never executes jobs on the
+        #: local pool — PENDING records wait for remote workers to
+        #: :meth:`claim` them (the thread still sweeps expired leases and
+        #: TTL-prunes finished records).
+        self.local_exec = local_exec
         #: Seconds a DONE/FAILED record survives before pruning (the
         #: result itself lives on in the store; only the in-memory
         #: bookkeeping dict is bounded).  None = keep forever.
@@ -271,6 +311,178 @@ class JobQueue:
             self._lock.notify_all()
             return record, True
 
+    # -- remote workers (fabric lease protocol) --------------------------
+
+    def claim(self, worker_id: str, max_jobs: int = 1) -> List[JobRecord]:
+        """Hand up to ``max_jobs`` PENDING records to ``worker_id``.
+
+        Claimed records move to RUNNING under a lease of ``lease_ttl``
+        seconds; the worker must :meth:`heartbeat` to keep it, and
+        :meth:`complete` to settle it.  A record is handed to exactly one
+        claimant at a time — concurrent claims of the same fingerprint
+        are impossible by construction (dedup happens at submit, and a
+        record leaves the ready heap when claimed) — but a lease that
+        expires puts the record back, so delivery is at-least-once.
+        """
+        now = time.monotonic()
+        claimed: List[JobRecord] = []
+        deferred: List[Tuple[int, int, str]] = []
+        with self._lock:
+            self._requeue_expired_locked()
+            while self._heap and len(claimed) < max(1, max_jobs):
+                entry = heapq.heappop(self._heap)
+                record = self._records.get(entry[2])
+                if record is None or record.state != PENDING:
+                    continue  # cancelled/stale entry
+                if record.not_before > now:
+                    deferred.append(entry)
+                    continue
+                record.state = RUNNING
+                record.worker = worker_id
+                record.lease_expiry = now + self.lease_ttl
+                claimed.append(record)
+            for entry in deferred:
+                heapq.heappush(self._heap, entry)
+            if claimed:
+                self.registry.counter("service.queue.claimed").inc(len(claimed))
+        return claimed
+
+    def heartbeat(self, job_id: str, worker_id: str) -> bool:
+        """Extend ``worker_id``'s lease on ``job_id``; False if forfeit.
+
+        A False return tells the worker its lease is gone (expired and
+        requeued, completed elsewhere, or never claimed by it) — the
+        worker should abandon the execution; a late duplicate completion
+        is harmless either way.
+        """
+        with self._lock:
+            record = self._records.get(job_id)
+            if (
+                record is None
+                or record.state != RUNNING
+                or record.worker != worker_id
+            ):
+                return False
+            record.lease_expiry = time.monotonic() + self.lease_ttl
+            return True
+
+    def complete(
+        self,
+        job_id: str,
+        worker_id: str,
+        ok: bool,
+        value: Any,
+    ) -> str:
+        """Settle a claimed job with the worker's outcome.
+
+        Idempotent by content identity: completing an already-DONE
+        record is a no-op (``"duplicate"``), and a late completion from
+        a worker whose lease expired is *accepted* — the payload is a
+        pure function of the fingerprint, so whoever finishes first wins
+        and everyone else coalesces.  Completion of a record the queue
+        no longer tracks (TTL-pruned) still persists a successful
+        payload to the store (``"stored"``): at-least-once delivery must
+        never drop a computed result.
+
+        Returns one of ``"done"``, ``"duplicate"``, ``"stored"``,
+        ``"retry"``, ``"failed"``, ``"unknown"``.
+        """
+        executed: List[Tuple[Dict[str, Any], Dict[str, Any]]] = []
+        try:
+            with self._lock:
+                record = self._records.get(job_id)
+                if record is None:
+                    if ok:
+                        self.store.put(job_id, value)
+                        self.registry.counter("service.queue.orphan_stored").inc()
+                        return "stored"
+                    return "unknown"
+                if record.state == DONE:
+                    self.registry.counter("service.queue.duplicate_completion").inc()
+                    return "duplicate"
+                if record.state == RUNNING and record.worker != worker_id:
+                    # Lease moved on but this worker finished anyway: a
+                    # valid result is a valid result — take it.
+                    self.registry.counter("service.queue.late_completion").inc()
+                if ok:
+                    self._finish_ok_locked(record, value)
+                    if self.on_executed is not None:
+                        executed.append((record.spec, value))
+                    self._lock.notify_all()
+                    return "done"
+                retried = self._record_failure_locked(record, str(value))
+                self._lock.notify_all()
+                return "retry" if retried else "failed"
+        finally:
+            for spec, payload in executed:
+                try:
+                    self.on_executed(spec, payload)  # type: ignore[misc]
+                except Exception:  # noqa: BLE001 — feedback is best-effort
+                    self.registry.counter("service.queue.feedback_error").inc()
+
+    def requeue_expired(self) -> int:
+        """Requeue RUNNING records whose lease lapsed; returns the count."""
+        with self._lock:
+            return self._requeue_expired_locked()
+
+    def _requeue_expired_locked(self) -> int:
+        """Caller holds the lock.  Only leased (remote) records expire —
+        local pool executions have no lease and settle in ``_loop``."""
+        now = time.monotonic()
+        expired = [
+            rec
+            for rec in self._records.values()
+            if rec.state == RUNNING
+            and rec.worker is not None
+            and rec.lease_expiry <= now
+        ]
+        for record in expired:
+            record.state = PENDING
+            record.worker = None
+            record.lease_expiry = 0.0
+            heapq.heappush(
+                self._heap, (-record.priority, next(self._seq), record.job_id)
+            )
+        if expired:
+            self.registry.counter("service.queue.lease_expired").inc(len(expired))
+            self._lock.notify_all()
+        return len(expired)
+
+    # -- outcome recording (shared by _loop and complete) ----------------
+
+    def _finish_ok_locked(self, record: JobRecord, payload: Dict[str, Any]) -> None:
+        self.store.put(record.job_id, payload)
+        record.result = payload
+        record.state = DONE
+        record.worker = None
+        record.finished_at = time.monotonic()
+        record.done_event.set()
+        self.registry.counter("service.queue.executed").inc()
+
+    def _record_failure_locked(self, record: JobRecord, message: str) -> bool:
+        """Retry-or-fail a record; True when it was requeued for retry."""
+        if message.startswith(TIMEOUT_ERROR_PREFIX):
+            self.registry.counter("service.queue.timeout").inc()
+        record.attempts += 1
+        record.worker = None
+        if record.attempts <= self.retries:
+            record.state = PENDING
+            record.not_before = time.monotonic() + self.backoff * (
+                2 ** (record.attempts - 1)
+            )
+            heapq.heappush(
+                self._heap,
+                (-record.priority, next(self._seq), record.job_id),
+            )
+            self.registry.counter("service.queue.retried").inc()
+            return True
+        record.error = message
+        record.state = FAILED
+        record.finished_at = time.monotonic()
+        record.done_event.set()
+        self.registry.counter("service.queue.failed").inc()
+        return False
+
     # -- maintenance -----------------------------------------------------
 
     def _prune_locked(self) -> int:
@@ -328,16 +540,28 @@ class JobQueue:
             batch: List[JobRecord] = []
             with self._lock:
                 while not self._stopping:
-                    batch = self._pop_ready_batch()
-                    if batch:
-                        break
-                    # Sleep until the earliest backoff expires (or new work).
+                    self._requeue_expired_locked()
+                    if self.local_exec:
+                        batch = self._pop_ready_batch()
+                        if batch:
+                            break
+                    # Sleep until the earliest backoff or outstanding
+                    # lease expires (or new work arrives).  With
+                    # local_exec off this thread is purely a janitor:
+                    # lease sweeps and TTL pruning.
+                    now = time.monotonic()
                     delays = [
-                        self._records[job_id].not_before - time.monotonic()
+                        self._records[job_id].not_before - now
                         for _, _, job_id in self._heap
-                        if job_id in self._records
+                        if job_id in self._records and self.local_exec
                     ]
+                    delays.extend(
+                        rec.lease_expiry - now
+                        for rec in self._records.values()
+                        if rec.state == RUNNING and rec.worker is not None
+                    )
                     wait_for = min(delays) if delays else None
+                    self._prune_locked()
                     self._lock.wait(
                         max(0.01, wait_for) if wait_for is not None else None
                     )
@@ -353,33 +577,21 @@ class JobQueue:
             executed: List[Tuple[Dict[str, Any], Dict[str, Any]]] = []
             with self._lock:
                 for record, (status, value) in zip(batch, outcomes):
+                    if record.state == DONE:
+                        # A remote worker beat the local pool to it
+                        # (possible after a lease expiry requeued the
+                        # record into local execution): keep the first
+                        # settlement, coalesce this one.
+                        self.registry.counter(
+                            "service.queue.duplicate_completion"
+                        ).inc()
+                        continue
                     if status == "ok":
-                        self.store.put(record.job_id, value)
-                        record.result = value
-                        record.state = DONE
-                        record.finished_at = time.monotonic()
-                        record.done_event.set()
-                        self.registry.counter("service.queue.executed").inc()
+                        self._finish_ok_locked(record, value)
                         if self.on_executed is not None:
                             executed.append((record.spec, value))
                         continue
-                    record.attempts += 1
-                    if record.attempts <= self.retries:
-                        record.state = PENDING
-                        record.not_before = time.monotonic() + self.backoff * (
-                            2 ** (record.attempts - 1)
-                        )
-                        heapq.heappush(
-                            self._heap,
-                            (-record.priority, next(self._seq), record.job_id),
-                        )
-                        self.registry.counter("service.queue.retried").inc()
-                    else:
-                        record.error = value
-                        record.state = FAILED
-                        record.finished_at = time.monotonic()
-                        record.done_event.set()
-                        self.registry.counter("service.queue.failed").inc()
+                    self._record_failure_locked(record, value)
                 self._prune_locked()
                 self._lock.notify_all()
             # Feedback hooks run outside the lock: a slow (or broken)

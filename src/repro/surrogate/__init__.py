@@ -104,12 +104,19 @@ class SurrogateOracle:
         gate: Optional[UncertaintyGate] = None,
         path: Optional[Path] = None,
         registry: Optional[MetricsRegistry] = None,
+        save_every: int = 1,
     ) -> None:
         self.store = store if store is not None else ResultStore()
         self.model = model if model is not None else AnalyticalModel()
         self.gate = gate if gate is not None else UncertaintyGate()
         self.path = Path(path) if path is not None else self.store.root / CALIBRATION_FILENAME
         self.registry = registry if registry is not None else proc_registry()
+        #: Persist the table every N observations (1 = write-through).
+        #: A fleet of workers feeding calibration through the queue hook
+        #: would otherwise rewrite the table on every completion; batch
+        #: writers must call :meth:`flush` on drain.
+        self.save_every = max(1, save_every)
+        self._dirty = 0
         self._table: Optional[CalibrationTable] = None
         self._lock = threading.Lock()
 
@@ -133,9 +140,23 @@ class SurrogateOracle:
         table = calibrate_from_store(self.store, self.model)
         with self._lock:
             self._table = table
+            self._dirty = 0
         table.save(self.path)
         self.registry.counter("surrogate.recalibrated").inc()
         return table
+
+    def flush(self) -> bool:
+        """Persist pending observations; True if a write happened.
+
+        Cheap no-op when nothing is dirty — safe to call on every drain.
+        """
+        with self._lock:
+            if self._dirty == 0 or self._table is None:
+                return False
+            self._table.save(self.path)
+            self._dirty = 0
+        self.registry.counter("surrogate.calibration_flushed").inc()
+        return True
 
     def observe(self, spec_dict: Dict[str, Any], payload: Dict[str, Any]) -> bool:
         """Feed one escalated/executed exact result back into the fit.
@@ -156,7 +177,10 @@ class SurrogateOracle:
             with self._lock:
                 family, scheme = key.split("/", 1)
                 table.ensure_cell(family, scheme).add(sample)
-                table.save(self.path)
+                self._dirty += 1
+                if self._dirty >= self.save_every:
+                    table.save(self.path)
+                    self._dirty = 0
             self.registry.counter("surrogate.observed").inc()
             return True
         except Exception:

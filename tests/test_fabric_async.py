@@ -1,0 +1,293 @@
+"""Tests for the asyncio HTTP front end and client retry policy.
+
+The async server runs its real event loop on an ephemeral port; the
+stdlib client exercises it over genuine sockets, including raw
+``http.client`` connections for keep-alive and protocol-edge cases the
+high-level client never produces.
+"""
+
+import http.client
+import json
+import shutil
+import urllib.error
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.fabric import (
+    AsyncServiceServer,
+    ShardMap,
+    ShardedResultStore,
+    make_server,
+)
+from repro.service.server import ServiceServer
+from repro.service.spec import SimSpec
+from repro.service.store import ResultStore
+
+TINY = dict(width=3, height=3, rate=0.03, warmup=30, measure=80, seed=5)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    store = ResultStore(root=tmp_path / "store", registry=MetricsRegistry())
+    with AsyncServiceServer(port=0, store=store, workers=2, quiet=True) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(server.url)
+
+
+class TestAsyncEndpoints:
+    def test_healthz(self, client):
+        payload = client.healthz()
+        assert payload["ok"] is True
+        assert payload["draining"] is False
+
+    def test_submit_cached_and_result(self, server, client):
+        spec = SimSpec(**TINY)
+        first = client.run(spec, timeout=60)
+        assert first["status"] == "done"
+        second = client.submit(spec)
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+        blob = client.result(second["fingerprint"])
+        assert blob == first["result"]
+
+    def test_malformed_spec_400(self, client):
+        status, payload, _ = client._request(
+            "POST", "/jobs", {"definitely_not_a_field": 1}
+        )
+        assert status == 400
+
+    def test_unknown_endpoint_404(self, client):
+        status, _, _ = client._request("GET", "/nope")
+        assert status == 404
+
+    def test_non_object_body_400(self, server):
+        conn = http.client.HTTPConnection(*server.address, timeout=10)
+        try:
+            conn.request(
+                "POST", "/jobs", body=b"[1, 2, 3]",
+                headers={"Content-Type": "application/json"},
+            )
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_method_not_allowed_405(self, server):
+        conn = http.client.HTTPConnection(*server.address, timeout=10)
+        try:
+            conn.request("DELETE", "/jobs")
+            assert conn.getresponse().status == 405
+        finally:
+            conn.close()
+
+    def test_per_endpoint_latency_histograms(self, server, client):
+        client.healthz()
+        client.submit(SimSpec(**TINY))
+        text = client.metrics()
+        assert "repro_service_http_latency_ms_healthz" in text
+        assert "repro_service_http_latency_ms_jobs_submit" in text
+
+    def test_keep_alive_reuses_connection(self, server):
+        conn = http.client.HTTPConnection(*server.address, timeout=10)
+        try:
+            for _ in range(3):
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_oversized_body_413(self, server):
+        conn = http.client.HTTPConnection(*server.address, timeout=10)
+        try:
+            conn.putrequest("POST", "/jobs")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(256 * 1024 * 1024))
+            conn.endheaders()
+            # The server rejects on the declared length without reading
+            # the (never-sent) body.
+            assert conn.getresponse().status == 413
+        finally:
+            conn.close()
+
+    def test_malformed_request_line_400(self, server):
+        import socket
+
+        with socket.create_connection(server.address, timeout=10) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            assert b"400" in sock.recv(1024)
+
+    def test_head_request(self, server):
+        conn = http.client.HTTPConnection(*server.address, timeout=10)
+        try:
+            conn.request("HEAD", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.read() == b""
+        finally:
+            conn.close()
+
+    def test_claim_empty_when_no_work(self, client):
+        payload = client.claim("w1", wait=0.1)
+        assert payload["jobs"] == []
+        assert payload["draining"] is False
+
+
+class TestDrain:
+    def test_draining_degrades_health_and_claims(self, server, client):
+        server.draining = True
+        with pytest.raises(ServiceError) as exc_info:
+            client.healthz()
+        assert exc_info.value.status == 503
+        assert exc_info.value.payload["draining"] is True
+        payload = client.claim("w1", wait=0.0)
+        assert payload["jobs"] == []
+        assert payload["draining"] is True
+
+    def test_stop_is_graceful(self, tmp_path):
+        store = ResultStore(root=tmp_path / "store", registry=MetricsRegistry())
+        server = AsyncServiceServer(port=0, store=store, workers=2, quiet=True)
+        server.start()
+        client = ServiceClient(server.url, transient_retries=0)
+        client.healthz()
+        server.stop()
+        with pytest.raises((ServiceError, OSError, urllib.error.URLError)):
+            client.healthz()
+
+
+class TestShardedHealth:
+    def test_shard_outage_degrades_healthz(self, tmp_path):
+        smap = ShardMap.local([tmp_path / "s0", tmp_path / "s1"], replicas=2)
+        store = ShardedResultStore(smap, registry=MetricsRegistry())
+        with AsyncServiceServer(
+            port=0, store=store, workers=2, quiet=True
+        ) as server:
+            client = ServiceClient(server.url)
+            assert client.healthz()["shards"] == {"s0": True, "s1": True}
+            shutil.rmtree(tmp_path / "s1")
+            with pytest.raises(ServiceError) as exc_info:
+                client.healthz()
+            assert exc_info.value.status == 503
+            assert exc_info.value.payload["shards"]["s1"] is False
+
+
+class TestMakeServer:
+    def test_factory_backends(self, tmp_path):
+        store = ResultStore(root=tmp_path / "a", registry=MetricsRegistry())
+        threaded = make_server(backend="threaded", port=0, store=store, quiet=True)
+        assert isinstance(threaded, ServiceServer)
+        store2 = ResultStore(root=tmp_path / "b", registry=MetricsRegistry())
+        asyncish = make_server(backend="async", port=0, store=store2, quiet=True)
+        assert isinstance(asyncish, AsyncServiceServer)
+        with pytest.raises(ValueError):
+            make_server(backend="twisted", port=0)
+
+
+class TestClientRetries:
+    def test_transient_errors_retried(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", transient_retries=3, retry_backoff=0.001
+        )
+        calls = []
+
+        def flaky(method, path, body=None, timeout=None):
+            calls.append(path)
+            if len(calls) < 3:
+                raise ConnectionResetError("torn connection")
+            return 200, {"ok": True}, "{}"
+
+        monkeypatch.setattr(client, "_request_once", flaky)
+        status, payload, _ = client._request("GET", "/healthz")
+        assert status == 200
+        assert len(calls) == 3
+
+    def test_retries_exhausted_raises(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", transient_retries=2, retry_backoff=0.001
+        )
+        calls = []
+
+        def always_down(method, path, body=None, timeout=None):
+            calls.append(path)
+            raise ConnectionRefusedError("nobody home")
+
+        monkeypatch.setattr(client, "_request_once", always_down)
+        with pytest.raises(ConnectionRefusedError):
+            client._request("GET", "/healthz")
+        assert len(calls) == 3  # initial + 2 retries
+
+    def test_http_errors_never_retried(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", transient_retries=3, retry_backoff=0.001
+        )
+        calls = []
+
+        def http_404(method, path, body=None, timeout=None):
+            calls.append(path)
+            raise urllib.error.HTTPError(path, 404, "nope", None, None)
+
+        monkeypatch.setattr(client, "_request_once", http_404)
+        with pytest.raises(urllib.error.HTTPError):
+            client._request("GET", "/jobs/xyz")
+        assert len(calls) == 1
+
+    def test_retries_disabled(self, monkeypatch):
+        client = ServiceClient("http://127.0.0.1:1", transient_retries=0)
+        calls = []
+
+        def down(method, path, body=None, timeout=None):
+            calls.append(path)
+            raise ConnectionResetError("down")
+
+        monkeypatch.setattr(client, "_request_once", down)
+        with pytest.raises(ConnectionResetError):
+            client._request("GET", "/healthz")
+        assert len(calls) == 1
+
+    def test_submit_honors_retry_after(self, monkeypatch):
+        client = ServiceClient("http://127.0.0.1:1")
+        answers = iter(
+            [
+                (429, {"error": "backpressure", "retry_after": 0.01}, "{}"),
+                (202, {"status": "pending", "job_id": "j"}, "{}"),
+            ]
+        )
+        monkeypatch.setattr(
+            client, "_request", lambda *a, **k: next(answers)
+        )
+        payload = client.submit(SimSpec(**TINY), backoff=0.001)
+        assert payload["job_id"] == "j"
+
+    def test_429_header_injected_into_payload(self, server, monkeypatch):
+        """A 429 whose JSON body omits retry_after still carries the
+        server's Retry-After header through to the backoff loop."""
+        real_urlopen = __import__("urllib.request", fromlist=["urlopen"]).urlopen
+
+        class FakeHeaders(dict):
+            def get(self, key, default=None):
+                return dict.get(self, key, default)
+
+        def fake_urlopen(request, timeout=None):
+            import io
+
+            raise urllib.error.HTTPError(
+                request.full_url,
+                429,
+                "busy",
+                FakeHeaders(
+                    {"Content-Type": "application/json", "Retry-After": "0.25"}
+                ),
+                io.BytesIO(b'{"error": "backpressure"}'),
+            )
+
+        client = ServiceClient(server.url)
+        monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+        status, payload, _ = client._request_once("GET", "/healthz")
+        assert status == 429
+        assert payload["retry_after"] == 0.25

@@ -7,7 +7,6 @@ boundaries, where in-memory counters cannot.
 """
 
 import json
-import os
 import threading
 import time
 import uuid
@@ -20,6 +19,8 @@ from repro.experiments.common import fan_out
 from repro.service.queue import (
     DONE,
     FAILED,
+    PENDING,
+    RUNNING,
     JobQueue,
     QueueFull,
     run_campaign,
@@ -198,13 +199,12 @@ class TestJobQueue:
         assert store.registry.counters["service.queue.failed"] == 1
 
     def test_timeout_enforced_in_pool_workers(self, store):
-        if not hasattr(os, "fork"):
-            pytest.skip("timeout preemption needs fork + SIGALRM")
         queue = make_queue(
             store, runner_sleepy, workers=2, timeout=0.4, retries=0
         )
         # Two pending jobs so the batch takes the pool path, where the
-        # per-job SIGALRM budget is enforceable.
+        # portable wall-clock budget (join-with-deadline, no signals)
+        # bounds each job.
         a, _ = queue.submit({"value": 0, "sleep": 30.0})
         b, _ = queue.submit({"value": 1, "sleep": 30.0})
         start = time.monotonic()
@@ -213,6 +213,7 @@ class TestJobQueue:
             b = queue.wait(b.job_id, timeout=30)
         assert a.state == FAILED and b.state == FAILED
         assert "JobTimeout" in a.error
+        assert store.registry.counters["service.queue.timeout"] == 2
         assert time.monotonic() - start < 20
 
     def test_wait_unknown_job(self, store):
@@ -411,3 +412,150 @@ class TestOnExecuted:
             record = queue.wait(record.job_id, timeout=30)
         assert record.state == DONE
         assert store.registry.counters["service.queue.feedback_error"] == 1
+
+
+class TestLeaseProtocol:
+    """Queue-level claim/heartbeat/complete semantics (the fabric's
+    at-least-once contract, without HTTP in the way)."""
+
+    def make_remote_queue(self, store, **kwargs):
+        kwargs.setdefault("local_exec", False)
+        kwargs.setdefault("lease_ttl", 0.5)
+        return make_queue(store, runner_ok, **kwargs)
+
+    def test_claim_hands_out_pending_work(self, store):
+        queue = self.make_remote_queue(store)
+        record, _ = queue.submit({"value": 1})
+        claimed = queue.claim("w1", max_jobs=4)
+        assert [rec.job_id for rec in claimed] == [record.job_id]
+        assert record.state == RUNNING
+        assert record.worker == "w1"
+        assert store.registry.counters["service.queue.claimed"] == 1
+
+    def test_claimed_job_not_double_claimed(self, store):
+        queue = self.make_remote_queue(store)
+        queue.submit({"value": 1})
+        assert len(queue.claim("w1")) == 1
+        assert queue.claim("w2") == []
+
+    def test_heartbeat_extends_lease(self, store):
+        queue = self.make_remote_queue(store, lease_ttl=0.6)
+        record, _ = queue.submit({"value": 1})
+        queue.claim("w1")
+        for _ in range(4):
+            time.sleep(0.3)
+            assert queue.heartbeat(record.job_id, "w1")
+        # Lease held well past the raw TTL; nobody else can claim it.
+        assert queue.claim("w2") == []
+
+    def test_heartbeat_rejects_strangers(self, store):
+        queue = self.make_remote_queue(store)
+        record, _ = queue.submit({"value": 1})
+        queue.claim("w1")
+        assert not queue.heartbeat(record.job_id, "w2")
+        assert not queue.heartbeat("no-such-job", "w1")
+
+    def test_expired_lease_requeues(self, store):
+        queue = self.make_remote_queue(store, lease_ttl=0.5)
+        record, _ = queue.submit({"value": 1})
+        queue.claim("w1")
+        time.sleep(0.7)
+        # The next claim sweeps expired leases first.
+        claimed = queue.claim("w2")
+        assert [rec.job_id for rec in claimed] == [record.job_id]
+        assert record.worker == "w2"
+        assert store.registry.counters["service.queue.lease_expired"] == 1
+
+    def test_complete_settles_and_persists(self, store):
+        queue = self.make_remote_queue(store)
+        record, _ = queue.submit({"value": 3})
+        queue.claim("w1")
+        outcome = queue.complete(record.job_id, "w1", True, {"value": 6})
+        assert outcome == "done"
+        assert record.state == DONE
+        assert store.get(record.job_id) == {"value": 6}
+
+    def test_duplicate_completion_coalesces(self, store):
+        """The failover invariant: two workers racing the same job yield
+        exactly one stored result and a 'duplicate' verdict for the
+        loser."""
+        queue = self.make_remote_queue(store, lease_ttl=0.5)
+        record, _ = queue.submit({"value": 3})
+        queue.claim("w1")
+        time.sleep(0.7)  # w1's lease lapses (worker "killed mid-job")
+        assert queue.claim("w2"), "expired job should be reclaimable"
+        assert queue.complete(record.job_id, "w2", True, {"value": 6}) == "done"
+        # w1 resurfaces with the same (pure-function) payload.
+        assert (
+            queue.complete(record.job_id, "w1", True, {"value": 6})
+            == "duplicate"
+        )
+        assert record.state == DONE
+        assert store.get(record.job_id) == {"value": 6}
+        assert (
+            store.registry.counters["service.queue.duplicate_completion"] == 1
+        )
+
+    def test_late_completion_from_usurped_worker_accepted(self, store):
+        queue = self.make_remote_queue(store, lease_ttl=0.5)
+        record, _ = queue.submit({"value": 3})
+        queue.claim("w1")
+        time.sleep(0.7)
+        queue.claim("w2")  # lease moved on
+        # w1 finishes first anyway: a valid result is taken.
+        assert queue.complete(record.job_id, "w1", True, {"value": 6}) == "done"
+        assert store.registry.counters["service.queue.late_completion"] == 1
+
+    def test_orphan_completion_still_stores(self, store):
+        """A TTL-pruned record must never drop a computed result."""
+        queue = self.make_remote_queue(store)
+        fp = "ab" * 32
+        assert queue.complete(fp, "w1", True, {"value": 9}) == "stored"
+        assert store.get(fp) == {"value": 9}
+        assert queue.complete("cd" * 32, "w1", False, "boom") == "unknown"
+
+    def test_failed_completion_retries_then_fails(self, store):
+        queue = self.make_remote_queue(store, retries=1, backoff=0.01)
+        record, _ = queue.submit({"value": 1})
+        queue.claim("w1")
+        assert queue.complete(record.job_id, "w1", False, "boom") == "retry"
+        assert record.state == PENDING
+        time.sleep(0.05)
+        queue.claim("w1")
+        assert queue.complete(record.job_id, "w1", False, "boom") == "failed"
+        assert record.state == FAILED
+
+    def test_remote_timeout_report_counts(self, store):
+        queue = self.make_remote_queue(store, retries=0)
+        record, _ = queue.submit({"value": 1})
+        queue.claim("w1")
+        outcome = queue.complete(
+            record.job_id, "w1", False, "JobTimeout: job exceeded 1s wall clock"
+        )
+        assert outcome == "failed"
+        assert store.registry.counters["service.queue.timeout"] == 1
+
+    def test_completion_fires_on_executed_hook(self, store):
+        seen = []
+        queue = make_queue(
+            store,
+            runner_ok,
+            local_exec=False,
+            on_executed=lambda spec, payload: seen.append((spec, payload)),
+        )
+        record, _ = queue.submit({"value": 5})
+        queue.claim("w1")
+        queue.complete(record.job_id, "w1", True, {"value": 10})
+        assert seen == [({"value": 5}, {"value": 10})]
+
+    def test_no_local_exec_leaves_jobs_for_claimants(self, store, tmp_path):
+        """With local_exec off the scheduler never executes; the running
+        queue thread still sweeps leases."""
+        runs = tmp_path / "runs"
+        runs.mkdir()
+        with self.make_remote_queue(store) as queue:
+            record, _ = queue.submit({"value": 1, "log_dir": str(runs)})
+            time.sleep(0.4)
+            assert record.state == PENDING
+            assert list(runs.iterdir()) == []
+            assert len(queue.claim("w1")) == 1
